@@ -1,0 +1,49 @@
+"""Ablation: how many batch sizes to materialize?
+
+vLLM's default (and the paper's setting) captures 35 batch sizes; fewer
+sizes shrink the offline phase and the artifact but pad serving batches to
+coarser graphs (a larger replayed batch costs more GPU time once decode is
+compute-bound).  This quantifies the trade-off on Qwen1.5-4B.
+"""
+
+import pytest
+
+from repro.core.offline import OfflinePhase
+from repro.core.online import medusa_cold_start
+from repro.reporting import format_table
+
+MODEL = "Qwen1.5-4B"
+SUBSETS = {
+    "35 (vLLM default)": None,
+    "16": tuple([1, 2, 4] + list(range(8, 112, 8))),
+    "8": (1, 2, 4, 8, 32, 64, 128, 256),
+    "4": (1, 8, 64, 256),
+}
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_batch_size_coverage(benchmark, emit):
+    def run():
+        rows = []
+        for label, subset in SUBSETS.items():
+            artifact, report = OfflinePhase(
+                MODEL, seed=9400, batch_subset=subset).run()
+            engine, cold = medusa_cold_start(MODEL, artifact, seed=9401)
+            # Padding penalty: batch 100 is compute-bound once padded
+            # to a much larger captured graph.
+            step_100 = engine.decode_step(100)
+            rows.append([
+                label,
+                report.total_time,
+                len(artifact.to_json()) / 1024**2,
+                cold.loading_time,
+                engine.padded_batch(100),
+                step_100 * 1e3,
+            ])
+        return format_table(
+            f"Ablation: materialized batch-size coverage ({MODEL})",
+            ["captured sizes", "offline (s)", "artifact (MiB)",
+             "Medusa loading (s)", "batch-100 pads to", "batch-100 step (ms)"],
+            rows)
+    emit("Ablation4_batchsizes", benchmark.pedantic(run, rounds=1,
+                                                    iterations=1))

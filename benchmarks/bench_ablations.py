@@ -1,0 +1,111 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Trace-based backward matching vs naive forward-first matching (§4.1):
+   count the graph parameters the naive strategy binds to the wrong
+   allocation — the Figure 6 false positives.
+2. Copy-free buffer contents restoration (§4.3): artifact payload volume
+   with classification vs dumping every referenced buffer.
+3. Kernel address restoration paths (§5): how many kernels resolve via
+   dlsym vs needing module enumeration through triggering kernels.
+"""
+
+import pytest
+
+from repro.core.offline import OfflinePhase
+from repro.core.pointer_analysis import POINTER
+from repro.models.kernels_catalog import build_catalog
+from repro.models.zoo import get_model_config
+from repro.reporting import format_table
+
+MODEL = "Qwen1.5-4B"
+
+
+@pytest.fixture(scope="module")
+def offline_pair():
+    exact, _ = OfflinePhase(MODEL, seed=501).run()
+    naive, _ = OfflinePhase(MODEL, seed=501, naive_pointer_matching=True).run()
+    return exact, naive
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_backward_vs_naive_matching(benchmark, emit, offline_pair):
+    def run():
+        exact, naive = offline_pair
+        total = mismatched = 0
+        for batch, graph in exact.graphs.items():
+            for node, naive_node in zip(graph.nodes,
+                                        naive.graph(batch).nodes):
+                for a, b in zip(node.param_restores,
+                                naive_node.param_restores):
+                    if a.kind != POINTER:
+                        continue
+                    total += 1
+                    if (a.alloc_index, a.offset) != (b.alloc_index, b.offset):
+                        mismatched += 1
+        rows = [
+            ["pointer params analyzed", total],
+            ["naive false positives (Fig. 6)", mismatched],
+            ["false positive rate", f"{100 * mismatched / total:.2f}%"],
+            ["backward-matching false positives", 0],
+        ]
+        return format_table(
+            f"Ablation 1: naive vs trace-based pointer matching ({MODEL})",
+            ["metric", "value"], rows)
+    emit("Ablation1_matching", benchmark.pedantic(run, rounds=1, iterations=1))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_copy_free_restoration(benchmark, emit, offline_pair):
+    def run():
+        exact, _ = offline_pair
+        stats = exact.stats
+        permanent = stats["permanent_buffers"]
+        skipped = stats["pre_capture_buffers"] + stats["temporary_buffers"]
+        rows = [
+            ["referenced buffers", int(permanent + skipped)],
+            ["contents dumped (permanent)", int(permanent)],
+            ["contents skipped (weights/temporary)", int(skipped)],
+            ["dumped bytes", int(stats["permanent_bytes"])],
+            ["kernels needing permanent buffers",
+             f"{100 * stats['permanent_kernel_fraction']:.1f}% (paper: 9.0%)"],
+        ]
+        return format_table(
+            f"Ablation 2: copy-free buffer contents restoration ({MODEL})",
+            ["metric", "value"], rows)
+    emit("Ablation2_copyfree", benchmark.pedantic(run, rounds=1, iterations=1))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_kernel_resolution_paths(benchmark, emit, offline_pair):
+    def run():
+        exact, _ = offline_pair
+        catalog = build_catalog(get_model_config(MODEL))
+        visible = hidden = 0
+        for name in exact.kernel_libraries:
+            if catalog.kernel(name).hidden:
+                hidden += 1
+            else:
+                visible += 1
+        node_visible = node_hidden = 0
+        for graph in exact.graphs.values():
+            for node in graph.nodes:
+                if catalog.kernel(node.kernel_name).hidden:
+                    node_hidden += 1
+                else:
+                    node_visible += 1
+        total_nodes = node_visible + node_hidden
+        rows = [
+            ["distinct kernels (dlsym-resolvable)", visible],
+            ["distinct kernels (hidden, need triggering)", hidden],
+            ["graph nodes resolvable via dlsym",
+             f"{100 * node_visible / total_nodes:.1f}% "
+             f"(paper: ~69.2% for Llama2-13B bs=1)"],
+            ["graph nodes needing module enumeration",
+             f"{100 * node_hidden / total_nodes:.1f}%"],
+            ["handwritten trigger plans needed", len(exact.trigger_plans)],
+        ]
+        return format_table(
+            f"Ablation 3: kernel-address restoration paths ({MODEL})",
+            ["metric", "value"], rows)
+    emit("Ablation3_triggering",
+         benchmark.pedantic(run, rounds=1, iterations=1))

@@ -1,0 +1,66 @@
+"""Figure 11: p99 TTFT versus achieved serving throughput.
+
+RPS is swept upwards; each point reports the system's achieved throughput
+and the p99 TTFT.  Paper (Llama2-7B): around 4.5 QPS Medusa's p99 is ~43.0%,
+~29.9%, and ~27.0% lower than vLLM, vLLM+ASYNC, and w/o-CUDA-GRAPH; past the
+system's capacity every strategy's tail blows up as queueing dominates.
+"""
+
+import pytest
+
+from repro.engine import Strategy
+from repro.reporting import format_table
+from repro.serverless import ServingCostModel
+
+from benchmarks.bench_fig10_ttft import run_scenario
+
+MODELS = ["Llama2-7B", "Qwen1.5-4B"]
+STRATEGIES = [Strategy.VLLM, Strategy.VLLM_ASYNC, Strategy.NO_CUDA_GRAPH,
+              Strategy.MEDUSA]
+RPS_SWEEP = [1, 2, 3, 4.5, 6, 8, 12, 16, 20]
+DURATION = 240.0
+
+
+def _figure11(coldstarts):
+    text_blocks = []
+    for model in MODELS:
+        costs = ServingCostModel(model)
+        rows = []
+        crossover_note = ""
+        for rps in RPS_SWEEP:
+            p99 = {}
+            throughput = None
+            for strategy in STRATEGIES:
+                loading = coldstarts.loading_time(model, strategy)
+                metrics = run_scenario(
+                    costs, cold_start=loading,
+                    use_graphs=strategy.uses_cuda_graphs, rps=rps,
+                    duration=DURATION)
+                p99[strategy] = metrics.p99_ttft
+                if strategy is Strategy.MEDUSA:
+                    throughput = metrics.throughput
+            rows.append([rps, throughput]
+                        + [p99[s] for s in STRATEGIES])
+            if rps == 4.5:
+                crossover_note = (
+                    f"at ~{throughput:.1f} QPS: Medusa p99 is "
+                    f"{100 * (1 - p99[Strategy.MEDUSA] / p99[Strategy.VLLM]):.1f}% / "
+                    f"{100 * (1 - p99[Strategy.MEDUSA] / p99[Strategy.VLLM_ASYNC]):.1f}% / "
+                    f"{100 * (1 - p99[Strategy.MEDUSA] / p99[Strategy.NO_CUDA_GRAPH]):.1f}% "
+                    f"below vLLM / vLLM+ASYNC / w-o-CUDA-GRAPH "
+                    f"(paper, Llama2-7B: 43.0% / 29.9% / 27.0%)")
+        block = format_table(
+            f"Figure 11: p99 TTFT vs achieved throughput ({model})",
+            ["offered RPS", "achieved QPS"] + [s.label for s in STRATEGIES],
+            rows)
+        if crossover_note:
+            block += "\n" + crossover_note
+        text_blocks.append(block)
+    return "\n\n".join(text_blocks)
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_throughput_sweep(benchmark, emit, coldstarts):
+    text = benchmark.pedantic(_figure11, args=(coldstarts,),
+                              rounds=1, iterations=1)
+    emit("Figure11", text)

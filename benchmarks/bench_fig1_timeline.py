@@ -1,0 +1,39 @@
+"""Figure 1: cold-start timeline when serving Qwen1.5-4B (vanilla vLLM).
+
+Paper: initializing runtime ~22%, loading phase ~76%, first token ~2%;
+KV-cache init + capturing = ~50% of the loading phase.
+"""
+
+import pytest
+
+from repro.engine import LLMEngine, Strategy
+from repro.reporting import format_table
+
+
+def _timeline():
+    engine = LLMEngine("Qwen1.5-4B", Strategy.VLLM, seed=1)
+    report = engine.cold_start()
+    total = report.cold_start_time
+    rows = [["initializing runtime", report.runtime_init_time,
+             100 * report.runtime_init_time / total]]
+    for stage, duration in report.stage_durations.items():
+        rows.append([f"loading: {stage}", duration, 100 * duration / total])
+    rows.append(["generating first token", report.first_token_time,
+                 100 * report.first_token_time / total])
+    rows.append(["TOTAL cold start", total, 100.0])
+    text = format_table(
+        "Figure 1: cold start timeline, Qwen1.5-4B (vanilla vLLM)",
+        ["phase", "seconds", "% of cold start"], rows)
+    loading_pct = 100 * report.loading_time / total
+    kv_capture_pct = 100 * (report.stage_durations["kv_init"]
+                            + report.stage_durations["capture"]) \
+        / report.loading_time
+    text += (f"\nloading phase share: {loading_pct:.1f}% (paper: 76%)"
+             f"\nKV init + capturing share of loading: "
+             f"{kv_capture_pct:.1f}% (paper: ~50%)")
+    return text
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_cold_start_timeline(benchmark, emit):
+    emit("Figure1", benchmark.pedantic(_timeline, rounds=1, iterations=1))

@@ -1,0 +1,46 @@
+"""Figure 2: loading-phase breakdown across the ten models (vanilla vLLM).
+
+Paper: KV-cache initialization ~18% and capturing ~32% of the loading phase
+(together ~47% on average across models).
+"""
+
+import pytest
+
+from repro.engine import LLMEngine, Strategy
+from repro.models.zoo import paper_model_names
+from repro.reporting import format_table, stacked_bars
+
+STAGES = ["structure_init", "load_weights", "load_tokenizer",
+          "kv_init", "capture"]
+
+
+def _breakdown():
+    rows = []
+    kv_shares, capture_shares = [], []
+    segments = {stage: [] for stage in STAGES}
+    for index, name in enumerate(paper_model_names()):
+        engine = LLMEngine(name, Strategy.VLLM, seed=100 + index)
+        report = engine.cold_start()
+        durations = report.stage_durations
+        total = report.loading_time
+        rows.append([name] + [durations[s] for s in STAGES] + [total])
+        for stage in STAGES:
+            segments[stage].append(durations[stage])
+        kv_shares.append(durations["kv_init"] / total)
+        capture_shares.append(durations["capture"] / total)
+    text = format_table(
+        "Figure 2: breakdown of the loading phase (seconds, vanilla vLLM)",
+        ["model"] + STAGES + ["total"], rows)
+    text += "\n\n" + stacked_bars(
+        "Figure 2 (bars)", paper_model_names(), segments)
+    kv_pct = 100 * sum(kv_shares) / len(kv_shares)
+    capture_pct = 100 * sum(capture_shares) / len(capture_shares)
+    text += (f"\navg KV-init share: {kv_pct:.1f}% (paper: ~18%)"
+             f"\navg capturing share: {capture_pct:.1f}% (paper: ~32%)"
+             f"\navg combined: {kv_pct + capture_pct:.1f}% (paper: ~47%)")
+    return text
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_loading_phase_breakdown(benchmark, emit):
+    emit("Figure2", benchmark.pedantic(_breakdown, rounds=1, iterations=1))

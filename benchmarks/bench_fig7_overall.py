@@ -1,0 +1,55 @@
+"""Figure 7: overall loading-phase time (a) and cold-start time (b).
+
+Paper: Medusa reduces the loading phase by 42.5% on average vs vLLM (34.4%
+vs vLLM+ASYNC) and the overall cold start by 34.9%; the largest reduction is
+on Llama2-13B (~42.9%), the smallest on Qwen1.5-0.5B (~21.1%).
+"""
+
+import pytest
+
+from repro.engine import Strategy
+from repro.models.zoo import paper_model_names
+from repro.reporting import format_table
+
+STRATEGIES = [Strategy.VLLM, Strategy.VLLM_ASYNC, Strategy.MEDUSA]
+
+
+def _overall(coldstarts):
+    loading_rows, cold_rows = [], []
+    reductions, async_reductions, cold_reductions = [], [], []
+    for name in paper_model_names():
+        loading = {s: coldstarts.loading_time(name, s) for s in STRATEGIES}
+        cold = {s: coldstarts.report(name, s).cold_start_time
+                for s in STRATEGIES}
+        reduction = 1 - loading[Strategy.MEDUSA] / loading[Strategy.VLLM]
+        reductions.append(reduction)
+        async_reductions.append(
+            1 - loading[Strategy.MEDUSA] / loading[Strategy.VLLM_ASYNC])
+        cold_reductions.append(
+            1 - cold[Strategy.MEDUSA] / cold[Strategy.VLLM])
+        loading_rows.append([name] + [loading[s] for s in STRATEGIES]
+                            + [f"-{100 * reduction:.1f}%"])
+        cold_rows.append([name] + [cold[s] for s in STRATEGIES]
+                         + [f"-{100 * cold_reductions[-1]:.1f}%"])
+    headers = ["model"] + [s.label for s in STRATEGIES] + ["Medusa vs vLLM"]
+    text = format_table("Figure 7(a): loading phase time (s)",
+                        headers, loading_rows)
+    text += "\n\n"
+    text += format_table("Figure 7(b): overall cold start time (s)",
+                         headers, cold_rows)
+    n = len(reductions)
+    text += (
+        f"\navg loading reduction vs vLLM: "
+        f"{100 * sum(reductions) / n:.1f}% (paper: 42.5%)"
+        f"\navg loading reduction vs vLLM+ASYNC: "
+        f"{100 * sum(async_reductions) / n:.1f}% (paper: 34.4%)"
+        f"\navg cold-start reduction vs vLLM: "
+        f"{100 * sum(cold_reductions) / n:.1f}% (paper: 34.9%)")
+    return text
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_overall_performance(benchmark, emit, coldstarts):
+    text = benchmark.pedantic(_overall, args=(coldstarts,),
+                              rounds=1, iterations=1)
+    emit("Figure7", text)

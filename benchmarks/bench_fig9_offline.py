@@ -1,0 +1,38 @@
+"""Figure 9: overhead of the offline phase.
+
+Paper: ~39.2 s on average per model (capturing stage ~9.7 s, relatively
+constant; the analysis of the 35 graphs dominates); always under a minute.
+"""
+
+import pytest
+
+from repro.models.zoo import paper_model_names
+from repro.reporting import format_table
+
+
+def _offline_overhead(coldstarts):
+    rows = []
+    totals, captures = [], []
+    for name in paper_model_names():
+        _artifact, report = coldstarts.offline(name)
+        rows.append([name, report.capture_stage_time, report.analysis_time,
+                     report.total_time])
+        totals.append(report.total_time)
+        captures.append(report.capture_stage_time)
+    text = format_table(
+        "Figure 9: offline phase overhead (s)",
+        ["model", "capturing stage", "analysis stage", "total"], rows)
+    text += (
+        f"\navg capturing stage: {sum(captures) / len(captures):.1f} s "
+        f"(paper: ~9.7)"
+        f"\navg offline total: {sum(totals) / len(totals):.1f} s "
+        f"(paper: ~39.2)"
+        f"\nmax offline total: {max(totals):.1f} s (paper: < 1 minute)")
+    return text
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_offline_phase_overhead(benchmark, emit, coldstarts):
+    text = benchmark.pedantic(_offline_overhead, args=(coldstarts,),
+                              rounds=1, iterations=1)
+    emit("Figure9", text)

@@ -1,0 +1,70 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure: it computes the same
+rows/series the paper reports (in *simulated* seconds), writes them to
+``results/<name>.txt``, and prints them into the pytest-benchmark run so
+``pytest benchmarks/ --benchmark-only`` reproduces the whole evaluation.
+
+Cold-start latencies and offline artifacts are computed once per session and
+shared across benchmarks (they are the expensive inputs to Figures 7-11).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.core.offline import OfflineReport, run_offline
+from repro.core.online import medusa_cold_start
+from repro.engine import ColdStartReport, LLMEngine, Strategy
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    def _emit(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[written to results/{name}.txt]")
+    return _emit
+
+
+class ColdStartDatabase:
+    """Lazily computed cold-start reports per (model, strategy)."""
+
+    def __init__(self):
+        self._reports: Dict[Tuple[str, str], ColdStartReport] = {}
+        self._offline: Dict[str, Tuple[object, OfflineReport]] = {}
+
+    def offline(self, model: str):
+        if model not in self._offline:
+            self._offline[model] = run_offline(model, seed=9000)
+        return self._offline[model]
+
+    def report(self, model: str, strategy: Strategy) -> ColdStartReport:
+        key = (model, strategy.value)
+        if key not in self._reports:
+            if strategy is Strategy.MEDUSA:
+                artifact, _ = self.offline(model)
+                _engine, report = medusa_cold_start(model, artifact, seed=9001)
+            else:
+                engine = LLMEngine(model, strategy, seed=9002)
+                report = engine.cold_start()
+            self._reports[key] = report
+        return self._reports[key]
+
+    def loading_time(self, model: str, strategy: Strategy) -> float:
+        return self.report(model, strategy).loading_time
+
+
+@pytest.fixture(scope="session")
+def coldstarts() -> ColdStartDatabase:
+    return ColdStartDatabase()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Export per-strategy cold-start schedules as a Chrome trace.
+
+The paper uses NVIDIA Nsight Systems to see how the asynchronous weight
+loading interferes with the KV profiling forwarding (§7.3).  This example
+produces the equivalent view for the simulated engine: one track per
+strategy, stages placed on CPU/IO/GPU rows, inspectable in
+``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+import sys
+
+from repro import LLMEngine, Strategy, medusa_cold_start, run_offline
+from repro.reporting.timeline import save_chrome_trace
+
+MODEL = "Qwen1.5-4B"
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "coldstart_trace.json"
+    reports = []
+    for strategy in (Strategy.VLLM, Strategy.VLLM_ASYNC):
+        reports.append(LLMEngine(MODEL, strategy,
+                                 seed=len(reports)).cold_start())
+        print(f"{strategy.label:12s} loading "
+              f"{reports[-1].loading_time:.3f} s")
+    artifact, _ = run_offline(MODEL, seed=9)
+    _engine, medusa = medusa_cold_start(MODEL, artifact, seed=10)
+    reports.append(medusa)
+    print(f"{'Medusa':12s} loading {medusa.loading_time:.3f} s")
+
+    size = save_chrome_trace(reports, output)
+    print(f"\nwrote {output} ({size} bytes) — open in chrome://tracing or "
+          f"https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,215 @@
+"""Command-line interface: the paper's workflow as subcommands.
+
+Mirrors the original artifact's scripts (`scripts/serverless_llm.py
+--offline`, `scripts/overall.py`, ...) as one CLI::
+
+    python -m repro models
+    python -m repro coldstart --model Qwen1.5-4B --strategy vllm
+    python -m repro offline   --model Qwen1.5-4B --output qwen4b.medusa.json
+    python -m repro restore   --model Qwen1.5-4B --artifact qwen4b.medusa.json --validate
+    python -m repro simulate  --model Llama2-7B  --rps 10 --strategy medusa
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.artifact import MaterializedModel
+from repro.core.offline import run_offline
+from repro.core.online import medusa_cold_start
+from repro.core.validation import validate_restoration
+from repro.engine import LLMEngine, Strategy
+from repro.models.zoo import PAPER_MODELS, get_model_config
+from repro.reporting import format_table
+from repro.serverless import (
+    ClusterSimulator,
+    ServingCostModel,
+    ShareGPTWorkload,
+    SimulationConfig,
+)
+
+_STRATEGY_NAMES = {
+    "vllm": Strategy.VLLM,
+    "vllm-async": Strategy.VLLM_ASYNC,
+    "medusa": Strategy.MEDUSA,
+    "no-cuda-graph": Strategy.NO_CUDA_GRAPH,
+    "deferred": Strategy.DEFERRED,
+}
+
+
+def _strategy(name: str) -> Strategy:
+    strategy = _STRATEGY_NAMES.get(name.lower())
+    if strategy is None:
+        raise argparse.ArgumentTypeError(
+            f"unknown strategy {name!r}; choose from "
+            f"{', '.join(_STRATEGY_NAMES)}")
+    return strategy
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Medusa (ASPLOS '25) reproduction on a simulated GPU")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo (Table 1)")
+
+    cold = sub.add_parser("coldstart", help="run one cold start")
+    cold.add_argument("--model", required=True)
+    cold.add_argument("--strategy", type=_strategy, default=Strategy.VLLM)
+    cold.add_argument("--artifact", help="Medusa artifact path "
+                                         "(required for --strategy medusa)")
+    cold.add_argument("--seed", type=int, default=0)
+
+    save_tensor = sub.add_parser(
+        "save-tensor", help="write a model's weights to disk "
+                            "(the artifact's --save_tensor step)")
+    save_tensor.add_argument("--model", required=True)
+    save_tensor.add_argument("--dir", required=True,
+                             help="checkpoint directory")
+
+    offline = sub.add_parser("offline", help="materialize a model (offline phase)")
+    offline.add_argument("--model", required=True)
+    offline.add_argument("--output", required=True,
+                         help="artifact JSON output path")
+    offline.add_argument("--seed", type=int, default=0)
+
+    restore = sub.add_parser("restore", help="Medusa online cold start")
+    restore.add_argument("--model", required=True)
+    restore.add_argument("--artifact", required=True)
+    restore.add_argument("--validate", action="store_true",
+                         help="also run cross-process output validation "
+                              "(COMPUTE mode; tiny models only in practice)")
+    restore.add_argument("--seed", type=int, default=0)
+
+    simulate = sub.add_parser("simulate", help="serverless trace simulation")
+    simulate.add_argument("--model", required=True)
+    simulate.add_argument("--strategy", type=_strategy, default=Strategy.VLLM)
+    simulate.add_argument("--rps", type=float, default=2.0)
+    simulate.add_argument("--duration", type=float, default=300.0)
+    simulate.add_argument("--gpus", type=int, default=4)
+    simulate.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_models(_args) -> int:
+    rows = [[c.name, f"{c.param_bytes / 1024**3:.1f}GB", c.num_layers,
+             c.vocab_size, c.total_graph_nodes] for c in PAPER_MODELS]
+    print(format_table("Model zoo (paper Table 1)",
+                       ["model", "params", "layers", "vocab", "graph nodes"],
+                       rows))
+    return 0
+
+
+def _print_report(report) -> None:
+    rows = [[stage, duration]
+            for stage, duration in report.stage_durations.items()]
+    rows.append(["loading phase (composed)", report.loading_time])
+    rows.append(["cold start (incl. runtime init)", report.cold_start_time])
+    print(format_table(
+        f"Cold start: {report.model} under {report.strategy.label}",
+        ["stage", "simulated seconds"], rows))
+
+
+def _cmd_coldstart(args) -> int:
+    if args.strategy is Strategy.MEDUSA:
+        if not args.artifact:
+            print("error: --strategy medusa requires --artifact "
+                  "(run `repro offline` first)", file=sys.stderr)
+            return 2
+        artifact = MaterializedModel.load(args.artifact)
+        _engine, report = medusa_cold_start(args.model, artifact,
+                                            seed=args.seed)
+    else:
+        engine = LLMEngine(args.model, args.strategy, seed=args.seed)
+        report = engine.cold_start()
+    _print_report(report)
+    return 0
+
+
+def _cmd_save_tensor(args) -> int:
+    from repro.models.weights import FileCheckpointStore
+    from repro.models.zoo import get_model_config
+    config = get_model_config(args.model)
+    store = FileCheckpointStore(args.dir)
+    written = store.save_checkpoint(config)
+    print(f"saved {config.weight_buffer_count()} weight tensors "
+          f"({written / 1024:.0f} KiB of payloads, "
+          f"{config.param_bytes / 1024**3:.1f} GiB declared) to {args.dir}")
+    return 0
+
+
+def _cmd_offline(args) -> int:
+    artifact, report = run_offline(args.model, seed=args.seed)
+    size = artifact.save(args.output)
+    print(f"capturing stage: {report.capture_stage_time:.1f} s (simulated)")
+    print(f"analysis stage:  {report.analysis_time:.1f} s (simulated)")
+    print(f"materialized {artifact.total_nodes} nodes / "
+          f"{len(artifact.graphs)} graphs -> {args.output} "
+          f"({size / 1024**2:.1f} MiB)")
+    return 0
+
+
+def _cmd_restore(args) -> int:
+    artifact = MaterializedModel.load(args.artifact)
+    _engine, report = medusa_cold_start(args.model, artifact, seed=args.seed)
+    _print_report(report)
+    if args.validate:
+        result = validate_restoration(args.model, artifact,
+                                      seed=args.seed + 1)
+        print(f"validation: PASSED on batches {result.batches_checked} "
+              f"(max abs error {result.max_abs_error})")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    strategy = args.strategy
+    if strategy is Strategy.MEDUSA:
+        artifact, _ = run_offline(args.model, seed=args.seed)
+        _engine, report = medusa_cold_start(args.model, artifact,
+                                            seed=args.seed)
+    else:
+        report = LLMEngine(args.model, strategy, seed=args.seed).cold_start()
+    workload = ShareGPTWorkload(rps=args.rps, duration=args.duration,
+                                seed=args.seed)
+    simulator = ClusterSimulator(
+        ServingCostModel(args.model),
+        SimulationConfig(num_gpus=args.gpus,
+                         cold_start_latency=report.loading_time,
+                         use_cuda_graphs=strategy.uses_cuda_graphs,
+                         deferred_capture=strategy is Strategy.DEFERRED))
+    metrics = simulator.run(workload.generate(), horizon=args.duration)
+    summary = metrics.summary()
+    rows = [[key, value] for key, value in sorted(summary.items())]
+    print(format_table(
+        f"Trace simulation: {args.model}, {strategy.label}, "
+        f"RPS {args.rps:g}, {args.gpus} GPUs",
+        ["metric", "value"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "models": _cmd_models,
+    "save-tensor": _cmd_save_tensor,
+    "coldstart": _cmd_coldstart,
+    "offline": _cmd_offline,
+    "restore": _cmd_restore,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,364 @@
+"""The online phase: restore instead of profile/capture (paper §3, §4.2, §5).
+
+Plugged into :meth:`repro.engine.engine.LLMEngine.cold_start` for
+``Strategy.MEDUSA``.  The restorer:
+
+1. **KV restore (§6)** — verifies the engine's structure-init allocation
+   prefix against the artifact (the deterministic-control-flow assumption,
+   checked rather than assumed), replays the recorded (de)allocation
+   sequence up to the KV region, and adopts the materialized block count —
+   no profiling forwarding.
+2. **Warm-up window (overlaps weight loading)** — finishes the allocation
+   replay, restores the permanent buffer contents (§4.3), then warms up and
+   captures only the *first layer* per batch size: its kernels are the
+   triggering-kernels that force every hidden module to load (§5.2), plus
+   any handwritten trigger plans for modules the first layer misses (§5.1).
+3. **Restore tail** — resolves every materialized kernel name to this
+   process's addresses (first-layer graph nodes → dlsym →
+   cuModuleEnumerateFunctions), fills pointers and constants back into
+   fresh graph nodes via the indirect index pointer table (§4.2), rebuilds
+   the dependency edges, and instantiates ready-to-execute graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.artifact import MaterializedModel, MaterializedNode, ReplayEvent
+from repro.core.pointer_analysis import CONST, POINTER
+from repro.engine.capture_runner import CaptureArtifacts
+from repro.engine.engine import ColdStartReport, LLMEngine
+from repro.engine.kvcache import BlockManager, KVCacheConfig, KVCacheRegion
+from repro.engine.strategies import Strategy
+from repro.errors import RestorationError, SymbolNotFoundError
+from repro.models.zoo import get_model_config
+from repro.simgpu.costmodel import CostModel
+from repro.simgpu.graph import CudaGraph, CudaGraphNode, GraphExecMeta
+from repro.simgpu.kernels import PAYLOAD_DIM, KernelParam
+from repro.simgpu.memory import Buffer
+from repro.simgpu.process import CudaProcess, ExecutionMode
+
+
+class OnlineRestorer:
+    """Restores one materialized model into a fresh process."""
+
+    def __init__(self, artifact: MaterializedModel):
+        self.artifact = artifact
+        self._buffers: Dict[int, Buffer] = {}
+        self._replay_cursor = 0
+        self._name_to_address: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Stage 1: materialized KV initialization (§6)
+    # ------------------------------------------------------------------
+
+    def restore_kv(self, engine: LLMEngine) -> None:
+        artifact = self.artifact
+        process = engine.process
+        process.clock.advance(engine.cost_model.kv_restore_time)
+        self._verify_structure_prefix(engine)
+        consumed = self._replay_until(process,
+                                      stop_alloc_index=artifact.kv_alloc_index)
+        process.clock.advance(
+            engine.cost_model.alloc_replay_per_event * consumed)
+        kv_buffer = self._buffer(artifact.kv_alloc_index)
+        kv_buffer.write(np.zeros((PAYLOAD_DIM, PAYLOAD_DIM)))
+        engine.kv_bytes = artifact.kv_bytes
+        engine.kv_region = KVCacheRegion(
+            buffer=kv_buffer,
+            num_blocks=artifact.kv_num_blocks,
+            block_bytes=engine.kv_config.block_bytes(engine.config),
+            layer_stride=artifact.kv_layer_stride,
+        )
+        engine.block_manager = BlockManager(
+            artifact.kv_num_blocks, engine.kv_config.block_size_tokens)
+
+    def _verify_structure_prefix(self, engine: LLMEngine) -> None:
+        """Check the deterministic-control-flow assumption (§2.5) holds."""
+        history = engine.process.allocator.history
+        expected = self.artifact.structure_prefix
+        if len(history) < len(expected):
+            raise RestorationError(
+                f"online process made {len(history)} allocations before "
+                f"restore; artifact expects a {len(expected)}-allocation "
+                f"structure-init prefix")
+        for position, (size, tag) in enumerate(expected):
+            buffer = history[position]
+            if (buffer.size, buffer.tag) != (size, tag):
+                raise RestorationError(
+                    f"allocation {position} diverged from the offline run: "
+                    f"got ({buffer.size}, {buffer.tag!r}), artifact has "
+                    f"({size}, {tag!r}) — control flow is not deterministic")
+            self._buffers[buffer.alloc_index] = buffer
+
+    # ------------------------------------------------------------------
+    # Stages 2+3: graph restoration (§4.2, §5)
+    # ------------------------------------------------------------------
+
+    def restore_graphs(self, engine: LLMEngine) -> Tuple[float, float]:
+        """Returns (warm-up duration, serial restore duration)."""
+        artifact = self.artifact
+        process = engine.process
+        cm = engine.cost_model
+        clock = process.clock
+
+        # -- overlappable warm-up window ---------------------------------
+        warmup_start = clock.now
+        consumed = self._replay_until(process, stop_alloc_index=None)
+        clock.advance(cm.alloc_replay_per_event * consumed)
+        self._restore_permanent_contents()
+        graph_input = self._buffer(artifact.graph_input_alloc_index)
+        graph_output = self._buffer(artifact.graph_output_alloc_index)
+        zeros = np.zeros((PAYLOAD_DIM, PAYLOAD_DIM))
+        graph_input.write(zeros)
+        graph_output.write(zeros)
+
+        batch_order = sorted(artifact.graphs, reverse=True)
+        for batch_size in batch_order:
+            self._launch_first_layer(engine, batch_size)
+        self._run_trigger_plans(engine)
+        first_layer_graph = self._capture_first_layer(engine, batch_order[0])
+        warmup_duration = clock.now - warmup_start
+
+        # -- serial restore tail --------------------------------------------
+        restore_start = clock.now
+        clock.advance(cm.artifact_load_base
+                      + cm.artifact_deserialize_per_node * artifact.total_nodes)
+        self._build_address_table(engine, first_layer_graph)
+        capture_artifacts = CaptureArtifacts(
+            graph_input=graph_input,
+            graph_output=graph_output,
+            capture_marker=artifact.capture_marker,
+        )
+        for batch_size in batch_order:
+            materialized = artifact.graph(batch_size)
+            graph = self._assemble_graph(engine, materialized)
+            capture_artifacts.graphs[batch_size] = graph
+            capture_artifacts.execs[batch_size] = graph.instantiate(process)
+        clock.advance(cm.restore_fill_per_node * artifact.total_nodes)
+        engine.capture_artifacts = capture_artifacts
+        restore_duration = clock.now - restore_start
+        return warmup_duration, restore_duration
+
+    # -- allocation replay (§4.2) -----------------------------------------------
+
+    def _replay_until(self, process: CudaProcess,
+                      stop_alloc_index: Optional[int]) -> int:
+        """Replay recorded events; stop after allocating ``stop_alloc_index``."""
+        events = self.artifact.replay_events
+        consumed = 0
+        while self._replay_cursor < len(events):
+            event = events[self._replay_cursor]
+            self._replay_cursor += 1
+            consumed += 1
+            self._apply_event(process, event)
+            if (stop_alloc_index is not None and event.kind == "alloc"
+                    and event.alloc_index == stop_alloc_index):
+                break
+        return consumed
+
+    def _apply_event(self, process: CudaProcess, event: ReplayEvent) -> None:
+        if event.kind == "alloc":
+            buffer = process.malloc(event.size, tag=event.tag,
+                                    pool=event.pool)
+            if buffer.alloc_index != event.alloc_index:
+                raise RestorationError(
+                    f"replay drift: allocation came back as index "
+                    f"{buffer.alloc_index}, artifact expects "
+                    f"{event.alloc_index}")
+            self._buffers[event.alloc_index] = buffer
+        elif event.kind == "free":
+            buffer = self._buffer(event.alloc_index)
+            if event.pooled:
+                process.pool_free(buffer.address)
+            else:
+                process.free(buffer.address)
+        elif event.kind == "empty_cache":
+            process.empty_cache()
+        else:
+            raise RestorationError(f"unknown replay event kind {event.kind!r}")
+
+    def _buffer(self, alloc_index: int) -> Buffer:
+        buffer = self._buffers.get(alloc_index)
+        if buffer is None:
+            raise RestorationError(
+                f"indirect index {alloc_index} points outside the replayed "
+                f"allocation sequence")
+        return buffer
+
+    def _restore_permanent_contents(self) -> None:
+        for alloc_index in sorted(self.artifact.permanent_contents):
+            payload = self.artifact.permanent_payload(alloc_index)
+            self._buffer(alloc_index).write(payload)
+
+    # -- pointer restoration (§4.2) ------------------------------------------------
+
+    def _restore_params(self, node: MaterializedNode) -> List[KernelParam]:
+        params: List[KernelParam] = []
+        for size, restore in zip(node.param_sizes, node.param_restores):
+            if restore.kind == CONST:
+                params.append(KernelParam(size, restore.value))
+            elif restore.kind == POINTER:
+                buffer = self._buffer(restore.alloc_index)
+                if restore.offset >= buffer.size:
+                    raise RestorationError(
+                        f"offset {restore.offset} exceeds replayed buffer "
+                        f"size {buffer.size} (alloc {restore.alloc_index})")
+                params.append(KernelParam(size, buffer.address + restore.offset))
+            else:
+                raise RestorationError(
+                    f"unknown param restore kind {restore.kind!r}")
+        return params
+
+    # -- triggering-kernels (§5.1, §5.2) ----------------------------------------------
+
+    def _launch_first_layer(self, engine: LLMEngine, batch_size: int) -> None:
+        """Warm up the prologue + first layer eagerly (restored params)."""
+        artifact = self.artifact
+        process = engine.process
+        graph = artifact.graph(batch_size)
+        plan = graph.nodes[:artifact.first_layer_nodes]
+        for node in plan:
+            spec = engine.catalog.kernel(node.kernel_name)
+            process.launch(spec, self._restore_params(node),
+                           launch_dims=dict(node.launch_dims),
+                           preset_magic=True)
+        cm = engine.cost_model
+        layer_gpu = (cm.forward_gpu_time(engine.config.param_bytes, batch_size)
+                     / max(1, engine.config.num_layers))
+        process.clock.advance(layer_gpu + len(plan) * cm.launch_gap)
+
+    def _run_trigger_plans(self, engine: LLMEngine) -> None:
+        for plan in self.artifact.trigger_plans:
+            batch_size, node_index = plan.node_ref
+            node = self.artifact.graph(batch_size).nodes[node_index]
+            spec = engine.catalog.kernel(plan.kernel_name)
+            engine.process.launch(spec, self._restore_params(node),
+                                  launch_dims=dict(node.launch_dims),
+                                  preset_magic=True)
+            engine.process.clock.advance(engine.cost_model.launch_gap)
+
+    def _capture_first_layer(self, engine: LLMEngine,
+                             batch_size: int) -> CudaGraph:
+        """Capture the warmed-up first layer; its nodes expose addresses."""
+        artifact = self.artifact
+        process = engine.process
+        stream = process.default_stream
+        graph = artifact.graph(batch_size)
+        plan = graph.nodes[:artifact.first_layer_nodes]
+        stream.begin_capture(GraphExecMeta(
+            param_bytes=0, num_tokens=batch_size, batch_size=batch_size))
+        for node in plan:
+            spec = engine.catalog.kernel(node.kernel_name)
+            process.launch(spec, self._restore_params(node),
+                           launch_dims=dict(node.launch_dims),
+                           preset_magic=True)
+        return stream.end_capture()
+
+    # -- kernel address restoration (§5) ----------------------------------------------
+
+    def _build_address_table(self, engine: LLMEngine,
+                             first_layer_graph: CudaGraph) -> None:
+        driver = engine.process.driver
+        cm = engine.cost_model
+        table = self._name_to_address
+        # 1) First-layer graph nodes carry fresh addresses (§5.2).
+        for node in first_layer_graph.nodes:
+            table[driver.cu_func_get_name(node.kernel_address)] = \
+                node.kernel_address
+        # 2) dlsym -> cudaGetFuncBySymbol for visible kernels; 3) module
+        # enumeration for the hidden remainder (their modules were loaded by
+        # the triggering kernels).
+        needed = sorted({node.kernel_name
+                         for graph in self.artifact.graphs.values()
+                         for node in graph.nodes} - set(table))
+        enumerated: Dict[Tuple[str, str], Dict[str, int]] = {}
+        for kernel_name in needed:
+            library = self.artifact.kernel_libraries.get(kernel_name)
+            if library is None:
+                raise RestorationError(
+                    f"artifact has no library mapping for {kernel_name}")
+            try:
+                symbol = driver.dlsym(library, kernel_name)
+            except SymbolNotFoundError:
+                address = self._enumerate_modules(engine, library,
+                                                  kernel_name, enumerated)
+            else:
+                address = driver.cuda_get_func_by_symbol(symbol)
+            table[kernel_name] = address
+        total_enumerated = sum(len(v) for v in enumerated.values())
+        engine.process.clock.advance(
+            cm.module_enumerate_per_kernel * total_enumerated)
+
+    def _enumerate_modules(self, engine: LLMEngine, library: str,
+                           kernel_name: str, enumerated) -> int:
+        """cuModuleEnumerateFunctions over loaded modules of ``library``."""
+        driver = engine.process.driver
+        for lib_name, module_name in driver.loaded_modules():
+            if lib_name != library:
+                continue
+            key = (lib_name, module_name)
+            if key not in enumerated:
+                names: Dict[str, int] = {}
+                for address in driver.cu_module_enumerate_functions(
+                        lib_name, module_name):
+                    names[driver.cu_func_get_name(address)] = address
+                enumerated[key] = names
+            address = enumerated[key].get(kernel_name)
+            if address is not None:
+                return address
+        raise RestorationError(
+            f"kernel {kernel_name} is hidden and its module was never "
+            f"loaded — no triggering kernel covered it (§5)")
+
+    # -- graph assembly -----------------------------------------------------------------
+
+    def _assemble_graph(self, engine: LLMEngine, materialized) -> CudaGraph:
+        nodes = []
+        for node in materialized.nodes:
+            address = self._name_to_address.get(node.kernel_name)
+            if address is None:
+                raise RestorationError(
+                    f"no restored address for kernel {node.kernel_name}")
+            nodes.append(CudaGraphNode(
+                kernel_address=address,
+                params=self._restore_params(node),
+                launch_dims=dict(node.launch_dims),
+            ))
+        return CudaGraph(
+            nodes=nodes,
+            edges={tuple(edge) for edge in materialized.edges},
+            exec_meta=GraphExecMeta(
+                param_bytes=materialized.param_bytes,
+                num_tokens=materialized.num_tokens,
+                batch_size=materialized.batch_size,
+            ),
+        )
+
+
+def medusa_cold_start(config, artifact: MaterializedModel, seed: int = 1,
+                      mode: ExecutionMode = ExecutionMode.TIMING,
+                      cost_model: Optional[CostModel] = None,
+                      kv_config: Optional[KVCacheConfig] = None,
+                      checkpoints=None) -> Tuple[LLMEngine, ColdStartReport]:
+    """One Medusa cold start: fresh process, restore-based loading phase."""
+    if isinstance(config, str):
+        config = get_model_config(config)
+    if artifact.model_name != config.name:
+        raise RestorationError(
+            f"artifact is for {artifact.model_name}, engine wants {config.name}")
+    engine = LLMEngine(config, Strategy.MEDUSA, seed=seed, mode=mode,
+                       cost_model=cost_model, kv_config=kv_config,
+                       checkpoints=checkpoints)
+    # Artifacts are keyed by <GPU type, model type> (§3): the profiled KV
+    # memory and graph structure are only valid on the GPU they came from.
+    if artifact.gpu_name != engine.cost_model.gpu.name:
+        raise RestorationError(
+            f"artifact was materialized on {artifact.gpu_name!r}, this "
+            f"engine runs on {engine.cost_model.gpu.name!r} — the offline "
+            f"phase is per <GPU type, model type> (§3)")
+    report = engine.cold_start(restorer=OnlineRestorer(artifact))
+    return engine, report

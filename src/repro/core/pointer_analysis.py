@@ -1,0 +1,239 @@
+"""Indirect index pointer analysis (paper §4).
+
+Kernel parameters inside a raw CUDA graph node are just (size, value) pairs.
+This module turns every 8-byte, heap-prefixed value into an *indirect index
+pointer* — (allocation index, offset within that allocation) — by matching
+it against the intercepted allocation sequence, **backwards from the
+parameter's own cudaLaunchKernel event** (trace-based matching, §4.1).
+Backward matching is what defeats the Figure 6 false positive: when an
+address was returned by several allocations (LIFO pool reuse), the kernel
+always used the most recent one still live at launch time, i.e. the first
+match scanning backwards.
+
+Two extra concerns from the paper are handled here:
+
+- *interior pointers*: a parameter may point inside a buffer (the per-layer
+  KV pointers do); matches accept any allocation whose range contains the
+  address, and the offset is preserved ("within the range of the allocated
+  buffer", §4.1);
+- *false-positive pointer-like constants*: an 8-byte constant can
+  accidentally carry a heap-prefixed value.  Instances of the same kernel
+  recur across layers and batch sizes with identical parameter layouts, so a
+  positional majority vote demotes the rare pointer-like instance of a
+  mostly-constant position back to a constant; output validation (§4,
+  :mod:`repro.core.validation`) remains the final guard.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PointerAnalysisError
+from repro.core.trace import AllocTraceEvent, LaunchTraceEvent, Trace
+
+#: Values at or above this look like device-heap pointers.  The simulated
+#: heap lives at 0x7F00_0000_0000+, libraries at 0x5500_0000_0000+; plain
+#: integer constants are far below.
+POINTER_PREFIX = 0x5000_0000_0000
+
+#: Give up interval-walking after this many bases (junk queries only).
+_MAX_WALK = 4096
+
+CONST = "const"
+POINTER = "ptr"
+
+
+@dataclass(frozen=True)
+class ParamRestore:
+    """Materialized restoration rule for one node parameter."""
+
+    kind: str                     # CONST or POINTER
+    value: int = 0                # CONST: the plain value to restore
+    alloc_index: int = -1         # POINTER: index in the allocation sequence
+    offset: int = 0               # POINTER: byte offset inside that buffer
+
+    @staticmethod
+    def const(value: int) -> "ParamRestore":
+        return ParamRestore(kind=CONST, value=value)
+
+    @staticmethod
+    def pointer(alloc_index: int, offset: int) -> "ParamRestore":
+        return ParamRestore(kind=POINTER, alloc_index=alloc_index, offset=offset)
+
+
+def is_pointer_like(size: int, value: int) -> bool:
+    """The paper's heuristic: 8 bytes long with a high address prefix."""
+    return size == 8 and value >= POINTER_PREFIX
+
+
+class AllocationIndex:
+    """Search structure over the intercepted allocation sequence.
+
+    Built for two query shapes: *exact* (the parameter equals a returned
+    address — the overwhelming majority) and *interior* (the parameter lands
+    inside a buffer, e.g. per-layer KV pointers).  At any instant live
+    allocations never overlap, so "the most recent allocation before the
+    launch containing the address" is exactly "the allocation live at launch
+    time containing the address" — unique, which lets both paths stop at the
+    first liveness-checked hit.
+    """
+
+    def __init__(self, trace: Trace):
+        # address -> [(seq, alloc_index, size, free_seq)] ascending by seq
+        self._by_address: Dict[int, List[Tuple[int, int, int, float]]] = {}
+        freed = trace.freed_alloc_indices()
+        for event in trace.allocations():
+            free_seq = freed.get(event.alloc_index, float("inf"))
+            self._by_address.setdefault(event.address, []).append(
+                (event.seq, event.alloc_index, event.size, free_seq))
+        self._bases = sorted(self._by_address)
+        # prefix_reach[i] = max end address over bases[0..i] — a monotone
+        # bound that tells the interior walk when no further base can cover
+        # the queried address.
+        self._prefix_reach: List[int] = []
+        reach = 0
+        for base in self._bases:
+            end = max(base + size for _s, _a, size, _f in self._by_address[base])
+            reach = max(reach, end)
+            self._prefix_reach.append(reach)
+
+    # -- trace-based backward matching (§4.1) -------------------------------
+
+    def backward_match(self, address: int,
+                       before_seq: int) -> Optional[Tuple[int, int]]:
+        """The most recent allocation before ``before_seq`` containing
+        ``address``; returns (alloc_index, offset) or None."""
+        # Exact fast path: newest allocation of this very address that was
+        # live at launch time.
+        entries = self._by_address.get(address)
+        if entries is not None:
+            for seq, alloc_index, _size, free_seq in reversed(entries):
+                if seq < before_seq and free_seq >= before_seq:
+                    return alloc_index, 0
+        # Interior path: walk bases leftward; the first allocation live at
+        # launch time containing the address is the unique answer.
+        position = bisect.bisect_right(self._bases, address) - 1
+        walked = 0
+        while position >= 0 and walked < _MAX_WALK:
+            if self._prefix_reach[position] <= address:
+                break
+            base = self._bases[position]
+            for seq, alloc_index, size, free_seq in reversed(
+                    self._by_address[base]):
+                if (seq < before_seq and free_seq >= before_seq
+                        and base <= address < base + size):
+                    return alloc_index, address - base
+            position -= 1
+            walked += 1
+        return None
+
+    # -- the naive strategy of Figure 6 (ablation baseline) -------------------
+
+    def naive_match(self, address: int) -> Optional[Tuple[int, int]]:
+        """First allocation *ever* containing the address (earliest seq).
+
+        This is the strawman matching whose false positives Figure 6
+        illustrates: with pool reuse, the earliest match may be a long-freed
+        allocation, restoring the pointer to the wrong buffer online.
+        """
+        best: Optional[Tuple[int, int, int]] = None
+        entries = self._by_address.get(address)
+        if entries is not None:
+            seq, alloc_index, _size, _free = entries[0]
+            best = (seq, alloc_index, 0)
+        position = bisect.bisect_right(self._bases, address) - 1
+        walked = 0
+        while position >= 0 and walked < _MAX_WALK:
+            if self._prefix_reach[position] <= address:
+                break
+            base = self._bases[position]
+            for seq, alloc_index, size, _free in self._by_address[base]:
+                if base <= address < base + size:
+                    if best is None or seq < best[0]:
+                        best = (seq, alloc_index, address - base)
+                    break   # entries ascend by seq; later ones cannot beat it
+            position -= 1
+            walked += 1
+        if best is None:
+            return None
+        return best[1], best[2]
+
+
+@dataclass
+class AnalysisStats:
+    pointer_params: int = 0
+    const_params: int = 0
+    interior_pointers: int = 0
+    demoted_false_positives: int = 0
+
+
+def analyze_graph_params(
+        index: AllocationIndex,
+        node_launches: Sequence[LaunchTraceEvent],
+        naive: bool = False,
+) -> Tuple[List[List[ParamRestore]], AnalysisStats]:
+    """Materialize restoration rules for every node of one captured graph.
+
+    ``node_launches`` are the captured-launch trace events of the graph, in
+    node order; each carries the launch sequence number bounding the
+    backward search.  ``naive=True`` switches to forward-first matching (the
+    ablation baseline), still applying the pointer-likeness heuristic.
+    """
+    stats = AnalysisStats()
+    per_node: List[List[ParamRestore]] = []
+    votes = _positional_votes(node_launches)
+    for launch in node_launches:
+        restores: List[ParamRestore] = []
+        for position, (size, value) in enumerate(
+                zip(launch.param_sizes, launch.param_values)):
+            if not is_pointer_like(size, value):
+                restores.append(ParamRestore.const(value))
+                stats.const_params += 1
+                continue
+            if not _position_is_pointer(votes, launch.kernel_name, position):
+                # Positional majority vote: this slot is a constant in most
+                # instances of this kernel — a false-positive address-shaped
+                # constant (§4: "rare... validates and corrects").
+                restores.append(ParamRestore.const(value))
+                stats.demoted_false_positives += 1
+                continue
+            if naive:
+                match = index.naive_match(value)
+            else:
+                match = index.backward_match(value, launch.seq)
+            if match is None:
+                raise PointerAnalysisError(
+                    f"kernel {launch.kernel_name} param {position}: pointer "
+                    f"0x{value:x} matches no intercepted allocation")
+            alloc_index, offset = match
+            if offset:
+                stats.interior_pointers += 1
+            restores.append(ParamRestore.pointer(alloc_index, offset))
+            stats.pointer_params += 1
+        per_node.append(restores)
+    return per_node, stats
+
+
+def _positional_votes(
+        launches: Sequence[LaunchTraceEvent]) -> Dict[Tuple[str, int],
+                                                      Tuple[int, int]]:
+    """(kernel, position) -> (pointer-like count, total count)."""
+    votes: Dict[Tuple[str, int], List[int]] = {}
+    for launch in launches:
+        for position, (size, value) in enumerate(
+                zip(launch.param_sizes, launch.param_values)):
+            if size != 8:
+                continue
+            tally = votes.setdefault((launch.kernel_name, position), [0, 0])
+            tally[0] += 1 if is_pointer_like(size, value) else 0
+            tally[1] += 1
+    return {key: (tally[0], tally[1]) for key, tally in votes.items()}
+
+
+def _position_is_pointer(votes, kernel_name: str, position: int) -> bool:
+    pointer_count, total = votes.get((kernel_name, position), (0, 0))
+    if total == 0:
+        return True
+    return pointer_count * 2 > total

@@ -1,0 +1,94 @@
+"""Directory-based artifact store, keyed by <GPU type, model type> (§3).
+
+The original artifact persists materialized graphs to the SSDs once per
+model and reuses them across cold starts.  This store is that layer: a
+directory of artifact JSON files plus an index, with lookups by GPU and
+model name and staleness checks on the artifact format.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.artifact import MaterializedModel
+from repro.errors import ArtifactError
+
+_INDEX_NAME = "index.json"
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", text)
+
+
+class ArtifactStore:
+    """Materialization artifacts for many models on one storage path."""
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index_path = self.root / _INDEX_NAME
+
+    # -- index ------------------------------------------------------------
+
+    def _read_index(self) -> Dict[str, str]:
+        if not self._index_path.exists():
+            return {}
+        try:
+            return json.loads(self._index_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(
+                f"artifact store index at {self._index_path} is corrupt: "
+                f"{exc}") from exc
+
+    def _write_index(self, index: Dict[str, str]) -> None:
+        self._index_path.write_text(json.dumps(index, indent=2, sort_keys=True))
+
+    @staticmethod
+    def _key(gpu_name: str, model_name: str) -> str:
+        return f"{gpu_name}::{model_name}"
+
+    # -- operations ----------------------------------------------------------
+
+    def put(self, artifact: MaterializedModel) -> pathlib.Path:
+        """Persist an artifact; returns its file path."""
+        filename = f"{_slug(artifact.gpu_name)}__{_slug(artifact.model_name)}.medusa.json"
+        path = self.root / filename
+        artifact.save(path)
+        index = self._read_index()
+        index[self._key(artifact.gpu_name, artifact.model_name)] = filename
+        self._write_index(index)
+        return path
+
+    def get(self, gpu_name: str, model_name: str) -> MaterializedModel:
+        index = self._read_index()
+        filename = index.get(self._key(gpu_name, model_name))
+        if filename is None:
+            raise ArtifactError(
+                f"no materialization for <{gpu_name}, {model_name}> in "
+                f"{self.root}; run the offline phase first")
+        return MaterializedModel.load(self.root / filename)
+
+    def has(self, gpu_name: str, model_name: str) -> bool:
+        return self._key(gpu_name, model_name) in self._read_index()
+
+    def list(self) -> List[Tuple[str, str]]:
+        """All (gpu_name, model_name) pairs in the store."""
+        pairs = []
+        for key in sorted(self._read_index()):
+            gpu_name, _, model_name = key.partition("::")
+            pairs.append((gpu_name, model_name))
+        return pairs
+
+    def delete(self, gpu_name: str, model_name: str) -> None:
+        index = self._read_index()
+        filename = index.pop(self._key(gpu_name, model_name), None)
+        if filename is None:
+            raise ArtifactError(
+                f"no materialization for <{gpu_name}, {model_name}>")
+        path = self.root / filename
+        if path.exists():
+            path.unlink()
+        self._write_index(index)

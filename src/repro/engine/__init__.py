@@ -1,0 +1,34 @@
+"""The vLLM-like inference engine.
+
+Implements the five loading-phase stages the paper breaks down (§2.1):
+model structure initialization, model weights loading, tokenizer loading,
+KV cache initialization (profiling forwarding + block allocation), and CUDA
+graph capturing (warm-up + capture for 35 batch sizes) — plus the serving
+paths with and without CUDA graphs, and the stage-overlap timeline model
+that distinguishes vLLM, vLLM+ASYNC, and Medusa (Figures 1, 2, 7, 8).
+"""
+
+from repro.engine.engine import ColdStartReport, LLMEngine
+from repro.engine.kvcache import BlockManager, KVCacheConfig, KVCacheRegion
+from repro.engine.pipeline import ScheduledStage, StageTiming, Timeline
+from repro.engine.request import SamplingParams, Sequence, SequenceStatus
+from repro.engine.scheduler import ContinuousBatchingScheduler
+from repro.engine.serving import ServingLoop
+from repro.engine.strategies import Strategy
+
+__all__ = [
+    "BlockManager",
+    "ColdStartReport",
+    "ContinuousBatchingScheduler",
+    "KVCacheConfig",
+    "KVCacheRegion",
+    "LLMEngine",
+    "SamplingParams",
+    "ScheduledStage",
+    "Sequence",
+    "SequenceStatus",
+    "ServingLoop",
+    "StageTiming",
+    "Strategy",
+    "Timeline",
+]

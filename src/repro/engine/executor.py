@@ -1,0 +1,162 @@
+"""A deterministic resource-lane task executor for loading-phase schedules.
+
+:mod:`repro.engine.pipeline` composes each strategy's stage timeline in
+closed form.  This module provides the general mechanism those closed forms
+are special cases of: tasks with durations, dependencies, and a *resource
+lane* (CPU / IO / GPU), executed by a list scheduler where each lane runs
+one task at a time.  Tests cross-validate the closed-form timelines against
+this executor, so the analytic composition cannot silently drift from the
+semantics it claims to model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EngineError
+
+CPU = "cpu"
+IO = "io"
+GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of loading-phase work."""
+
+    name: str
+    duration: float
+    resource: str
+    deps: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise EngineError(f"task {self.name} has negative duration")
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    name: str
+    resource: str
+    start: float
+    end: float
+
+
+@dataclass
+class Schedule:
+    """The executed plan: per-task placement plus the makespan."""
+
+    tasks: List[ScheduledTask]
+
+    @property
+    def makespan(self) -> float:
+        return max((t.end for t in self.tasks), default=0.0)
+
+    def task(self, name: str) -> ScheduledTask:
+        for scheduled in self.tasks:
+            if scheduled.name == name:
+                return scheduled
+        raise EngineError(f"schedule has no task {name!r}")
+
+    def overlap(self, first: str, second: str) -> float:
+        """Seconds during which both tasks were running."""
+        a, b = self.task(first), self.task(second)
+        return max(0.0, min(a.end, b.end) - max(a.start, b.start))
+
+
+def execute(tasks: Sequence[Task]) -> Schedule:
+    """List-schedule ``tasks`` over their resource lanes.
+
+    Each resource lane executes one task at a time; a task starts at the
+    later of (its dependencies' completion, its lane's availability).  Ties
+    are broken by task order, making the schedule deterministic.
+    """
+    by_name: Dict[str, Task] = {}
+    for task in tasks:
+        if task.name in by_name:
+            raise EngineError(f"duplicate task {task.name!r}")
+        by_name[task.name] = task
+    for task in tasks:
+        for dep in task.deps:
+            if dep not in by_name:
+                raise EngineError(
+                    f"task {task.name!r} depends on unknown {dep!r}")
+
+    finished: Dict[str, float] = {}
+    lane_free: Dict[str, float] = {}
+    placed: List[ScheduledTask] = []
+    remaining = list(tasks)
+    while remaining:
+        progressed = False
+        for task in list(remaining):
+            if any(dep not in finished for dep in task.deps):
+                continue
+            ready_at = max((finished[dep] for dep in task.deps), default=0.0)
+            start = max(ready_at, lane_free.get(task.resource, 0.0))
+            end = start + task.duration
+            finished[task.name] = end
+            lane_free[task.resource] = end
+            placed.append(ScheduledTask(task.name, task.resource, start, end))
+            remaining.remove(task)
+            progressed = True
+        if not progressed:
+            cycle = ", ".join(t.name for t in remaining)
+            raise EngineError(f"dependency cycle among: {cycle}")
+    return Schedule(placed)
+
+
+def strategy_tasks(strategy, durations: Dict[str, float],
+                   interference_penalty: float) -> List[Task]:
+    """The task graph each strategy's closed-form timeline models.
+
+    Used by tests to check :func:`repro.engine.pipeline.compose_timeline`
+    against the general executor.
+    """
+    from repro.engine.pipeline import (
+        CAPTURE,
+        KV_INIT,
+        MEDUSA_RESTORE,
+        MEDUSA_WARMUP,
+        STRUCTURE,
+        TOKENIZER,
+        WEIGHTS,
+    )
+    from repro.engine.strategies import Strategy
+
+    def dur(name: str) -> float:
+        return durations.get(name, 0.0)
+
+    if strategy in (Strategy.VLLM, Strategy.NO_CUDA_GRAPH, Strategy.DEFERRED):
+        # Synchronous vLLM: one lane, strict order.
+        order = [STRUCTURE, WEIGHTS, TOKENIZER, KV_INIT]
+        if strategy is Strategy.VLLM:
+            order.append(CAPTURE)
+        tasks = []
+        previous: Tuple[str, ...] = ()
+        for name in order:
+            tasks.append(Task(name, dur(name), CPU, deps=previous))
+            previous = (name,)
+        return tasks
+    if strategy is Strategy.VLLM_ASYNC:
+        weights = dur(WEIGHTS)
+        if dur(KV_INIT) > 0:
+            weights += interference_penalty
+        return [
+            Task(STRUCTURE, dur(STRUCTURE), CPU),
+            Task(WEIGHTS, weights, IO, deps=(STRUCTURE,)),
+            Task(TOKENIZER, dur(TOKENIZER), CPU, deps=(STRUCTURE,)),
+            Task(KV_INIT, dur(KV_INIT), GPU, deps=(TOKENIZER,)),
+            Task(CAPTURE, dur(CAPTURE), GPU, deps=(WEIGHTS, KV_INIT)),
+        ]
+    if strategy is Strategy.MEDUSA:
+        return [
+            Task(STRUCTURE, dur(STRUCTURE), CPU),
+            Task(WEIGHTS, dur(WEIGHTS), IO, deps=(STRUCTURE,)),
+            Task(TOKENIZER, dur(TOKENIZER), CPU, deps=(STRUCTURE,)),
+            Task(KV_INIT, dur(KV_INIT), GPU, deps=(STRUCTURE,)),
+            Task(MEDUSA_WARMUP, dur(MEDUSA_WARMUP), GPU, deps=(KV_INIT,)),
+            Task(MEDUSA_RESTORE, dur(MEDUSA_RESTORE), GPU,
+                 deps=(MEDUSA_WARMUP, WEIGHTS, TOKENIZER)),
+        ]
+    raise EngineError(f"no task graph for strategy {strategy}")

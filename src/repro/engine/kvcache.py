@@ -1,0 +1,141 @@
+"""KV cache: block-granular management over one continuous device region.
+
+Mirrors vLLM's PagedAttention memory management (§6): the KV cache is one
+continuous GPU buffer sized from the *residual free memory after a profiling
+forwarding*, internally divided into fixed-size blocks handed out to
+sequences.  The block count is the quantity Medusa materializes — it is
+invariant per <GPU type, model type> because the profiling peak is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import InvalidValueError, KVCacheExhaustedError
+from repro.models.config import ModelConfig
+from repro.simgpu.kernels import PAYLOAD_DIM
+from repro.simgpu.memory import Buffer
+from repro.simgpu.process import CudaProcess
+
+
+@dataclass(frozen=True)
+class KVCacheConfig:
+    """Sizing policy, matching vLLM's defaults."""
+
+    block_size_tokens: int = 16
+    gpu_memory_utilization: float = 0.90
+    dtype_bytes: int = 2          # fp16 K and V entries
+    max_blocks: int = 1 << 16     # engine-level cap (ample for every model)
+
+    def block_bytes(self, model: ModelConfig) -> int:
+        """Bytes of one KV block: K+V, block tokens, hidden, all layers."""
+        return (2 * self.block_size_tokens * model.hidden_size
+                * self.dtype_bytes * model.num_layers)
+
+    def num_blocks_for(self, model: ModelConfig, kv_bytes: int) -> int:
+        block = self.block_bytes(model)
+        if kv_bytes < block:
+            raise InvalidValueError(
+                f"{model.name}: {kv_bytes} bytes cannot hold one KV block "
+                f"of {block} bytes")
+        return min(self.max_blocks, kv_bytes // block)
+
+
+@dataclass
+class KVCacheRegion:
+    """The allocated continuous KV region inside one process."""
+
+    buffer: Buffer
+    num_blocks: int
+    block_bytes: int
+    layer_stride: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_blocks * self.block_bytes
+
+
+def allocate_kv_region(process: CudaProcess, model: ModelConfig,
+                       kv_config: KVCacheConfig, kv_bytes: int) -> KVCacheRegion:
+    """Allocate the continuous KV cache buffer from ``kv_bytes`` of free memory."""
+    num_blocks = kv_config.num_blocks_for(model, kv_bytes)
+    total = num_blocks * kv_config.block_bytes(model)
+    buffer = process.malloc(
+        total, tag="kv",
+        payload=np.zeros((PAYLOAD_DIM, PAYLOAD_DIM)))
+    return KVCacheRegion(
+        buffer=buffer,
+        num_blocks=num_blocks,
+        block_bytes=kv_config.block_bytes(model),
+        layer_stride=max(1, total // max(1, model.num_layers)),
+    )
+
+
+class BlockManager:
+    """Hands out KV blocks to sequences (vLLM's block tables, simplified)."""
+
+    def __init__(self, num_blocks: int, block_size_tokens: int):
+        if num_blocks <= 0:
+            raise InvalidValueError(f"need at least one KV block, got {num_blocks}")
+        self.num_blocks = num_blocks
+        self.block_size_tokens = block_size_tokens
+        self._free: List[int] = list(range(num_blocks))
+        self._tables: Dict[str, List[int]] = {}
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    def blocks_needed(self, num_tokens: int) -> int:
+        return -(-num_tokens // self.block_size_tokens)   # ceil division
+
+    def can_allocate(self, num_tokens: int) -> bool:
+        return self.blocks_needed(num_tokens) <= self.free_blocks
+
+    # -- sequence lifecycle ---------------------------------------------------
+
+    def allocate(self, seq_id: str, num_tokens: int) -> List[int]:
+        if seq_id in self._tables:
+            raise InvalidValueError(f"sequence {seq_id} already has a block table")
+        needed = self.blocks_needed(num_tokens)
+        if needed > self.free_blocks:
+            raise KVCacheExhaustedError(
+                f"sequence {seq_id} needs {needed} blocks, "
+                f"only {self.free_blocks} free")
+        blocks = [self._free.pop() for _ in range(needed)]
+        self._tables[seq_id] = blocks
+        return list(blocks)
+
+    def extend(self, seq_id: str, total_tokens: int) -> List[int]:
+        """Grow a sequence's table to cover ``total_tokens`` (decode growth)."""
+        table = self._tables.get(seq_id)
+        if table is None:
+            raise InvalidValueError(f"unknown sequence {seq_id}")
+        needed = self.blocks_needed(total_tokens)
+        added: List[int] = []
+        while len(table) < needed:
+            if not self._free:
+                raise KVCacheExhaustedError(
+                    f"sequence {seq_id}: out of KV blocks while extending")
+            block = self._free.pop()
+            table.append(block)
+            added.append(block)
+        return added
+
+    def release(self, seq_id: str) -> None:
+        table = self._tables.pop(seq_id, None)
+        if table is None:
+            raise InvalidValueError(f"unknown sequence {seq_id}")
+        self._free.extend(table)
+
+    def block_table(self, seq_id: str) -> List[int]:
+        table = self._tables.get(seq_id)
+        if table is None:
+            raise InvalidValueError(f"unknown sequence {seq_id}")
+        return list(table)

@@ -1,0 +1,129 @@
+"""Iteration-level continuous batching over KV cache blocks.
+
+A simplified vLLM scheduler: every iteration it admits waiting sequences
+while KV blocks and batch slots last, grows running sequences' block tables
+by one decode token, and — when blocks run out mid-decode — preempts the
+youngest running sequence back to the waiting queue (releasing its blocks),
+vLLM's recompute-style preemption.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List
+
+from repro.engine.kvcache import BlockManager
+from repro.errors import KVCacheExhaustedError, SchedulingError
+from repro.engine.request import Sequence, SequenceStatus
+
+
+@dataclass
+class SchedulerOutput:
+    """What one iteration should execute."""
+
+    prefill: List[Sequence] = field(default_factory=list)
+    decode: List[Sequence] = field(default_factory=list)
+    preempted: List[Sequence] = field(default_factory=list)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.prefill) + len(self.decode)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.batch_size == 0
+
+
+class ContinuousBatchingScheduler:
+    """Admission + block management for one serving instance."""
+
+    def __init__(self, block_manager: BlockManager, max_batch_size: int = 16):
+        if max_batch_size <= 0:
+            raise SchedulingError("max_batch_size must be positive")
+        self.block_manager = block_manager
+        self.max_batch_size = max_batch_size
+        self.waiting: Deque[Sequence] = deque()
+        self.running: List[Sequence] = []
+
+    # -- intake ---------------------------------------------------------------
+
+    def add(self, sequence: Sequence) -> None:
+        if sequence.status is not SequenceStatus.WAITING:
+            raise SchedulingError(
+                f"{sequence.seq_id} is {sequence.status.value}, not waiting")
+        self.waiting.append(sequence)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.waiting or self.running)
+
+    # -- one iteration ---------------------------------------------------------
+
+    def schedule(self) -> SchedulerOutput:
+        """Plan one iteration: grow running sequences, then admit new ones.
+
+        Progress guarantee: block tables grow oldest-first, and on
+        exhaustion the *youngest* running sequence is preempted
+        (recompute-style) and the older one retried.  The oldest running
+        sequence therefore always advances, which rules out the
+        preempt/readmit livelock naive victim selection suffers under
+        sustained KV pressure.  A sequence that cannot grow even while
+        running alone needs more KV than the cache holds at all — that is
+        surfaced as an error, not retried forever.
+        """
+        output = SchedulerOutput()
+
+        index = 0
+        while index < len(self.running):
+            sequence = self.running[index]
+            try:
+                self.block_manager.extend(sequence.seq_id,
+                                          sequence.num_total_tokens + 1)
+            except KVCacheExhaustedError:
+                if len(self.running) == 1:
+                    raise KVCacheExhaustedError(
+                        f"{sequence.seq_id} needs "
+                        f"{self.block_manager.blocks_needed(sequence.num_total_tokens + 1)} "
+                        f"blocks but the cache holds only "
+                        f"{self.block_manager.num_blocks} in total")
+                victim = self.running.pop()        # youngest
+                self._preempt(victim, output)
+                if victim is sequence:
+                    break                          # we preempted ourselves
+                continue                           # retry the same sequence
+            index += 1
+        output.decode.extend(self.running)
+
+        # Admit waiting sequences while slots and blocks last — but never in
+        # a round that preempted (readmitting immediately would thrash).
+        while (not output.preempted and self.waiting
+               and len(self.running) + len(output.prefill)
+               < self.max_batch_size):
+            candidate = self.waiting[0]
+            if not self.block_manager.can_allocate(
+                    candidate.num_prompt_tokens + 1):
+                break
+            self.waiting.popleft()
+            self.block_manager.allocate(candidate.seq_id,
+                                        candidate.num_prompt_tokens + 1)
+            candidate.status = SequenceStatus.RUNNING
+            output.prefill.append(candidate)
+        self.running.extend(output.prefill)
+        return output
+
+    def _preempt(self, sequence: Sequence, output: SchedulerOutput) -> None:
+        """vLLM recompute preemption: drop KV, requeue at the front."""
+        self.block_manager.release(sequence.seq_id)
+        sequence.status = SequenceStatus.WAITING
+        sequence.output_token_ids.clear()
+        self.waiting.appendleft(sequence)
+        output.preempted.append(sequence)
+
+    # -- completion ---------------------------------------------------------------
+
+    def finish(self, sequence: Sequence) -> None:
+        if sequence not in self.running:
+            raise SchedulingError(f"{sequence.seq_id} is not running")
+        self.running.remove(sequence)
+        self.block_manager.release(sequence.seq_id)

@@ -1,0 +1,42 @@
+"""The compared cold-start strategies (paper §7).
+
+- ``VLLM``: vanilla vLLM — every loading stage runs synchronously.
+- ``VLLM_ASYNC``: vLLM plus naive asynchronous weight loading — the weights
+  stage overlaps the tokenizer and KV-init stages (with the measured mutual
+  interference), but the capture stage still waits for both.
+- ``MEDUSA``: full materialization — KV init and CUDA graphs are restored
+  from the offline artifact; only the first layer is warmed up/captured, in
+  parallel with the weight loading.
+- ``NO_CUDA_GRAPH``: vLLM with the capture stage removed — a cheaper cold
+  start that forfeits graph-accelerated decoding (Figure 10's extra baseline).
+- ``DEFERRED``: the §2.4 alternative the paper argues is ineffective —
+  capture is removed from the cold start and performed lazily, per batch
+  size, on the first request batch that needs it.  The capture latency is
+  not eliminated, merely delayed and dispersed across serving requests.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Strategy(enum.Enum):
+    """The compared cold-start strategies (see module docstring)."""
+
+    VLLM = "vLLM"
+    VLLM_ASYNC = "vLLM+ASYNC"
+    MEDUSA = "Medusa"
+    NO_CUDA_GRAPH = "w/o CUDA GRAPH"
+    DEFERRED = "Deferred capture"
+
+    @property
+    def uses_cuda_graphs(self) -> bool:
+        return self is not Strategy.NO_CUDA_GRAPH
+
+    @property
+    def captures_at_cold_start(self) -> bool:
+        return self in (Strategy.VLLM, Strategy.VLLM_ASYNC)
+
+    @property
+    def label(self) -> str:
+        return self.value

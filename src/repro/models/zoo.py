@@ -1,0 +1,92 @@
+"""The paper's ten models (Table 1) and tiny configurations for tests.
+
+Parameter sizes and total CUDA-graph node counts are taken verbatim from
+Table 1; layer counts, hidden sizes, and vocabulary sizes are the real
+published architectures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import InvalidValueError
+from repro.models.config import ModelConfig
+
+GB = 1024**3
+
+
+def _gb(value: float) -> int:
+    return int(value * GB)
+
+
+PAPER_MODELS: Tuple[ModelConfig, ...] = (
+    ModelConfig(name="Falcon-7B", family="falcon", param_bytes=_gb(13.4),
+                num_layers=32, hidden_size=4544, vocab_size=65024,
+                total_graph_nodes=14406, checkpoint_seed=101),
+    ModelConfig(name="Llama2-7B", family="llama", param_bytes=_gb(12.6),
+                num_layers=32, hidden_size=4096, vocab_size=32000,
+                total_graph_nodes=12518, checkpoint_seed=102),
+    ModelConfig(name="Llama2-13B", family="llama", param_bytes=_gb(24.2),
+                num_layers=40, hidden_size=5120, vocab_size=32000,
+                total_graph_nodes=16150, checkpoint_seed=103),
+    ModelConfig(name="Qwen1.5-0.5B", family="qwen", param_bytes=_gb(1.2),
+                num_layers=24, hidden_size=1024, vocab_size=151936,
+                total_graph_nodes=9118, checkpoint_seed=104),
+    ModelConfig(name="Qwen1.5-1.8B", family="qwen", param_bytes=_gb(3.4),
+                num_layers=24, hidden_size=2048, vocab_size=151936,
+                total_graph_nodes=9550, checkpoint_seed=105),
+    ModelConfig(name="Qwen1.5-4B", family="qwen", param_bytes=_gb(7.4),
+                num_layers=40, hidden_size=2560, vocab_size=151936,
+                total_graph_nodes=16150, checkpoint_seed=106),
+    ModelConfig(name="Qwen1.5-7B", family="qwen", param_bytes=_gb(14.4),
+                num_layers=32, hidden_size=4096, vocab_size=151936,
+                total_graph_nodes=12902, checkpoint_seed=107),
+    ModelConfig(name="Qwen1.5-14B", family="qwen", param_bytes=_gb(26.4),
+                num_layers=40, hidden_size=5120, vocab_size=152064,
+                total_graph_nodes=16350, checkpoint_seed=108),
+    ModelConfig(name="Yi-6B", family="yi", param_bytes=_gb(11.3),
+                num_layers=32, hidden_size=4096, vocab_size=64000,
+                total_graph_nodes=12902, checkpoint_seed=109),
+    ModelConfig(name="Yi-9B", family="yi", param_bytes=_gb(16.4),
+                num_layers=48, hidden_size=4096, vocab_size=64000,
+                total_graph_nodes=19318, checkpoint_seed=110),
+)
+
+#: Small configurations used throughout the test suite: real structure,
+#: few layers, few batch sizes, megabyte-scale "weights".
+TINY_MODELS: Tuple[ModelConfig, ...] = (
+    ModelConfig(name="Tiny-2L", family="tiny", param_bytes=16 * 1024**2,
+                num_layers=2, hidden_size=64, vocab_size=256,
+                total_graph_nodes=3 * (2 * 10 + 5) + 1,
+                capture_batch_sizes=(1, 2, 4), checkpoint_seed=7,
+                max_seq_len=128),
+    ModelConfig(name="Tiny-4L", family="tiny", param_bytes=64 * 1024**2,
+                num_layers=4, hidden_size=128, vocab_size=512,
+                total_graph_nodes=4 * (4 * 11 + 6) + 2,
+                capture_batch_sizes=(1, 2, 4, 8), checkpoint_seed=8,
+                max_seq_len=256),
+    # Exercises the full 13-kernel layer template (Falcon-style wide layers).
+    ModelConfig(name="Tiny-Wide", family="tiny", param_bytes=24 * 1024**2,
+                num_layers=2, hidden_size=96, vocab_size=384,
+                total_graph_nodes=3 * (2 * 13 + 7) + 2,
+                capture_batch_sizes=(1, 2, 8), checkpoint_seed=9,
+                max_seq_len=128),
+)
+
+_BY_NAME: Dict[str, ModelConfig] = {
+    config.name: config for config in PAPER_MODELS + TINY_MODELS
+}
+
+
+def get_model_config(name: str) -> ModelConfig:
+    """Look up a model by name (paper zoo + tiny test configurations)."""
+    config = _BY_NAME.get(name)
+    if config is None:
+        known = ", ".join(sorted(_BY_NAME))
+        raise InvalidValueError(f"unknown model {name!r}; known: {known}")
+    return config
+
+
+def paper_model_names() -> List[str]:
+    """The ten Table 1 model names, in the paper's order."""
+    return [config.name for config in PAPER_MODELS]

@@ -1,0 +1,29 @@
+"""Multi-GPU (tensor-parallel) support — the paper's §8 future work.
+
+The paper materializes single-GPU instances and notes that "Medusa's core
+concepts remain applicable" to multi-GPU serving, leaving the construction
+of per-rank indirect index pointer tables as future work.  This package
+implements that extension for tensor parallelism:
+
+- each rank runs its own simulated process with a 1/N shard of the weights
+  (per-rank declared sizes), its own KV shard, and its own CUDA graphs;
+- the offline phase materializes one artifact *per rank*; ranks are
+  structurally identical, which the implementation verifies;
+- the online phase restores every rank in its own fresh process and the
+  cold start completes when the slowest rank does, plus the distributed
+  (NCCL-style) initialization that tensor parallelism adds.
+"""
+
+from repro.multigpu.tp import (
+    TensorParallelColdStart,
+    TensorParallelEngine,
+    TensorParallelMedusa,
+    rank_config,
+)
+
+__all__ = [
+    "TensorParallelColdStart",
+    "TensorParallelEngine",
+    "TensorParallelMedusa",
+    "rank_config",
+]

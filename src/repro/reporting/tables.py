@@ -1,0 +1,54 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports, in a stable plain-text format that diffs cleanly across
+runs (EXPERIMENTS.md records these outputs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.2f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[Cell]]) -> str:
+    """An aligned plain-text table with a title rule."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Dict[str, Sequence[Cell]],
+                  x_label: str, x_values: Sequence[Cell]) -> str:
+    """A figure rendered as one column per line (x plus one column/series)."""
+    headers = [x_label] + list(series)
+    rows: List[List[Cell]] = []
+    for index, x in enumerate(x_values):
+        row: List[Cell] = [x]
+        for name in series:
+            row.append(series[name][index])
+        rows.append(row)
+    return format_table(title, headers, rows)

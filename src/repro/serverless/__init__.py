@@ -1,0 +1,35 @@
+"""Serverless serving platform simulation (paper §7.5).
+
+A discrete-event simulator of a GPU pool serving LLM inference functions:
+Poisson arrivals with ShareGPT-like request shapes, a router + autoscaler
+that launches new serving instances on demand (paying the strategy-specific
+cold-start latency), and iteration-level continuous batching on each
+instance.  Produces the TTFT tail and throughput curves of Figures 10/11.
+"""
+
+from repro.serverless.cluster import (
+    ModelDeployment,
+    MultiModelCluster,
+    TaggedRequest,
+    tag_workloads,
+)
+from repro.serverless.costs import ServingCostModel
+from repro.serverless.instance import Instance, InstanceConfig
+from repro.serverless.metrics import SimulationMetrics
+from repro.serverless.simulator import ClusterSimulator, SimulationConfig
+from repro.serverless.workload import Request, ShareGPTWorkload
+
+__all__ = [
+    "ClusterSimulator",
+    "ModelDeployment",
+    "MultiModelCluster",
+    "TaggedRequest",
+    "tag_workloads",
+    "Instance",
+    "InstanceConfig",
+    "Request",
+    "ServingCostModel",
+    "ShareGPTWorkload",
+    "SimulationConfig",
+    "SimulationMetrics",
+]

@@ -1,0 +1,238 @@
+"""Multi-model serverless clusters (the §2.4 model-diversity argument).
+
+A serverless platform hosts *many* model types behind one GPU pool; an
+instance serves exactly one model, so every model needs its own warm
+capacity.  That is precisely why the paper calls hot spares unaffordable:
+"the diversity of model types makes it unaffordable to over-provision for
+every type of model" (§2.4).  This module simulates such a shared pool —
+requests tagged with a model, per-model instance sets, one global GPU
+bound — and per-model plus aggregate metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InvalidValueError, SchedulingError
+from repro.serverless.costs import ServingCostModel
+from repro.serverless.instance import Instance, InstanceConfig
+from repro.serverless.metrics import SimulationMetrics
+from repro.serverless.workload import Request, ShareGPTWorkload
+
+_ARRIVAL = 0
+_INSTANCE_READY = 1
+_STEP_DONE = 2
+
+
+@dataclass(frozen=True)
+class ModelDeployment:
+    """One hosted model's serving profile on the shared cluster."""
+
+    name: str
+    costs: ServingCostModel
+    cold_start_latency: float
+    use_cuda_graphs: bool = True
+    deferred_capture: bool = False
+    hot_spares: int = 0
+    max_running: int = 14
+    gpus_per_instance: int = 1   # tensor-parallel deployments span GPUs
+
+
+@dataclass(frozen=True)
+class TaggedRequest:
+    """A request bound for one deployment."""
+
+    model: str
+    request: Request
+
+
+def tag_workloads(workloads: Dict[str, ShareGPTWorkload]
+                  ) -> List[TaggedRequest]:
+    """Merge per-model workloads into one time-ordered arrival stream."""
+    tagged: List[TaggedRequest] = []
+    for model, workload in workloads.items():
+        tagged.extend(TaggedRequest(model, request)
+                      for request in workload.generate())
+    tagged.sort(key=lambda t: t.request.arrival_time)
+    return tagged
+
+
+class MultiModelCluster:
+    """One GPU pool shared by several model deployments."""
+
+    def __init__(self, deployments: List[ModelDeployment], num_gpus: int,
+                 keep_alive: float = 20.0):
+        if num_gpus <= 0:
+            raise InvalidValueError("num_gpus must be positive")
+        names = [d.name for d in deployments]
+        if len(set(names)) != len(names):
+            raise InvalidValueError(f"duplicate deployment names in {names}")
+        total_spares = sum(d.hot_spares * d.gpus_per_instance
+                           for d in deployments)
+        if total_spares > num_gpus:
+            raise InvalidValueError(
+                f"hot spares across deployments ({total_spares} GPUs) exceed "
+                f"the GPU pool ({num_gpus}) — the §2.4 affordability wall")
+        if any(d.gpus_per_instance > num_gpus for d in deployments):
+            raise InvalidValueError(
+                "a deployment's gpus_per_instance exceeds the pool size")
+        self.deployments = {d.name: d for d in deployments}
+        self.num_gpus = num_gpus
+        self.keep_alive = keep_alive
+        self.instances: Dict[str, List[Instance]] = {name: []
+                                                     for name in names}
+        self.metrics: Dict[str, SimulationMetrics] = {}
+        self._events: List[Tuple[float, int, int, object]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+
+    # -- capacity ------------------------------------------------------------
+
+    def _live_instances(self, model: Optional[str] = None) -> List[Instance]:
+        pools = [self.instances[model]] if model else self.instances.values()
+        return [inst for pool in pools for inst in pool if not inst.retired]
+
+    @property
+    def gpus_in_use(self) -> int:
+        return sum(self.deployments[inst.model_name].gpus_per_instance
+                   for inst in self._live_instances())
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _push(self, time: float, kind: int, payload: object) -> None:
+        heapq.heappush(self._events, (time, kind, next(self._seq), payload))
+
+    def _launch(self, model: str, now: float, cold: bool = True,
+                hot_spare: bool = False) -> Instance:
+        deployment = self.deployments[model]
+        instance = Instance(
+            costs=deployment.costs,
+            config=InstanceConfig(
+                max_running=deployment.max_running,
+                use_cuda_graphs=deployment.use_cuda_graphs,
+                deferred_capture=deployment.deferred_capture),
+            launched_at=now,
+            cold_start_latency=deployment.cold_start_latency if cold else 0.0)
+        instance.hot_spare = hot_spare
+        instance.model_name = model
+        self.instances[model].append(instance)
+        if cold:
+            self.metrics[model].cold_starts += 1
+        self._push(instance.ready_at, _INSTANCE_READY, instance)
+        return instance
+
+    def _route(self, tagged: TaggedRequest, now: float) -> None:
+        model = tagged.model
+        deployment = self.deployments.get(model)
+        if deployment is None:
+            raise SchedulingError(f"no deployment for model {model!r}")
+        live = self._live_instances(model)
+        candidates = [inst for inst in live
+                      if inst.load < deployment.max_running]
+        if candidates:
+            target = min(candidates, key=lambda inst: (inst.load,
+                                                       inst.ready_at))
+        elif (self.gpus_in_use + deployment.gpus_per_instance
+                <= self.num_gpus):
+            target = self._launch(model, now)
+        elif live:
+            target = min(live, key=lambda inst: inst.load)
+        else:
+            # Pool exhausted by *other* models and this one has no instance:
+            # queue on the model's next launch by stealing the globally
+            # least-loaded retired slot is out of scope; wait for capacity.
+            target = self._launch_when_possible(model, now)
+        target.enqueue(tagged.request)
+        self._maybe_step(target, now)
+
+    def _launch_when_possible(self, model: str, now: float) -> Instance:
+        # Retire the most idle instance of another model if one is idle.
+        for pool in self.instances.values():
+            for instance in pool:
+                if (not instance.retired and not instance.has_work
+                        and not instance.stepping
+                        and not getattr(instance, "hot_spare", False)):
+                    instance.retired = True
+                    instance.retired_at = now
+                    return self._launch(model, now)
+        raise SchedulingError(
+            f"GPU pool exhausted and no instance of {model!r} exists; "
+            f"increase num_gpus or lower hot_spares")
+
+    def _maybe_step(self, instance: Instance, now: float) -> None:
+        if (instance.stepping or instance.retired
+                or now < instance.ready_at or not instance.has_work):
+            return
+        instance.stepping = True
+        result = instance.run_step(now)
+        self._push(now + result.duration, _STEP_DONE, (instance, result))
+
+    def _maybe_retire(self, instance: Instance, now: float) -> None:
+        if instance.has_work or instance.stepping or instance.retired:
+            return
+        if getattr(instance, "hot_spare", False):
+            return
+        if now - instance.last_busy_at >= self.keep_alive:
+            instance.retired = True
+            instance.retired_at = now
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self, tagged_requests: List[TaggedRequest],
+            horizon: float) -> Dict[str, SimulationMetrics]:
+        self.metrics = {name: SimulationMetrics(horizon=horizon)
+                        for name in self.deployments}
+        for tagged in tagged_requests:
+            self.metrics[tagged.model].arrived += 1
+            self._push(tagged.request.arrival_time, _ARRIVAL, tagged)
+        for name, deployment in self.deployments.items():
+            for _ in range(deployment.hot_spares):
+                self._launch(name, 0.0, cold=False, hot_spare=True)
+
+        while self._events:
+            time, kind, _seq, payload = heapq.heappop(self._events)
+            self._now = time
+            if kind == _ARRIVAL:
+                self._route(payload, time)
+            elif kind == _INSTANCE_READY:
+                self._maybe_step(payload, time)
+            elif kind == _STEP_DONE:
+                instance, result = payload
+                instance.stepping = False
+                model_metrics = self.metrics[instance.model_name]
+                for _request, ttft in result.ttfts:
+                    model_metrics.record_ttft(ttft)
+                for completion in result.completed:
+                    model_metrics.record_completion(
+                        completion.latency,
+                        in_horizon=completion.completion_time <= horizon)
+                self._maybe_step(instance, time)
+                self._maybe_retire(instance, time)
+
+        end_of_run = max(horizon, self._now)
+        for model, pool in self.instances.items():
+            for instance in pool:
+                until = getattr(instance, "retired_at", end_of_run)
+                self.metrics[model].provisioned_gpu_seconds += max(
+                    0.0, until - instance.ready_at)
+                self.metrics[model].busy_gpu_seconds += instance.busy_time
+        return self.metrics
+
+    # -- aggregate view --------------------------------------------------------------
+
+    def aggregate(self) -> SimulationMetrics:
+        total = SimulationMetrics(
+            horizon=max((m.horizon for m in self.metrics.values()),
+                        default=0.0))
+        for metrics in self.metrics.values():
+            total.ttfts.extend(metrics.ttfts)
+            total.latencies.extend(metrics.latencies)
+            total.completed += metrics.completed
+            total.arrived += metrics.arrived
+            total.cold_starts += metrics.cold_starts
+            total.provisioned_gpu_seconds += metrics.provisioned_gpu_seconds
+            total.busy_gpu_seconds += metrics.busy_gpu_seconds
+        return total

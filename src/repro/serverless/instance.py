@@ -1,0 +1,148 @@
+"""One serving instance: iteration-level continuous batching.
+
+An instance occupies one GPU.  After its strategy-specific cold start it
+serves requests with continuous batching: each iteration admits waiting
+requests up to the batch cap (paying their eager prefill), then decodes one
+token for every running sequence (graph-replayed when the strategy kept CUDA
+graphs).  TTFT is recorded when a request's prefill iteration completes —
+the quantity cold starts push into the tail (§7.5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+from collections import deque
+
+from repro.errors import SchedulingError
+from repro.serverless.costs import ServingCostModel
+from repro.serverless.workload import Request
+
+
+@dataclass(frozen=True)
+class InstanceConfig:
+    """Sizing of one serverless serving instance."""
+
+    max_running: int = 14       # concurrent sequences per instance
+    use_cuda_graphs: bool = True
+    deferred_capture: bool = False   # §2.4: capture lazily while serving
+
+
+@dataclass
+class _RunningSequence:
+    request: Request
+    generated: int = 0
+    first_token_time: float = 0.0
+
+    @property
+    def context(self) -> int:
+        return self.request.prompt_tokens + self.generated
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.output_tokens
+
+
+@dataclass
+class CompletedRequest:
+    request: Request
+    ttft: float
+    completion_time: float
+
+    @property
+    def latency(self) -> float:
+        return self.completion_time - self.request.arrival_time
+
+
+class Instance:
+    """One GPU-backed serving instance inside the cluster simulator."""
+
+    _ids = itertools.count()
+
+    def __init__(self, costs: ServingCostModel, config: InstanceConfig,
+                 launched_at: float, cold_start_latency: float):
+        self.instance_id = next(Instance._ids)
+        self.costs = costs
+        self.config = config
+        self.launched_at = launched_at
+        self.ready_at = launched_at + cold_start_latency
+        self.waiting: Deque[Request] = deque()
+        self.running: List[_RunningSequence] = []
+        self.stepping = False
+        self.retired = False
+        self.last_busy_at = self.ready_at
+        self.busy_time = 0.0
+        self._captured_batches: set = set()
+
+    # -- load accounting ----------------------------------------------------
+
+    @property
+    def load(self) -> int:
+        return len(self.waiting) + len(self.running)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.waiting or self.running)
+
+    def enqueue(self, request: Request) -> None:
+        if self.retired:
+            raise SchedulingError(
+                f"instance {self.instance_id} is retired; cannot enqueue")
+        self.waiting.append(request)
+
+    # -- one serving iteration ------------------------------------------------
+
+    def run_step(self, now: float) -> "StepResult":
+        """Execute one continuous-batching iteration starting at ``now``.
+
+        Returns the step duration plus the TTFTs and completions it produced.
+        """
+        if not self.has_work:
+            raise SchedulingError(
+                f"instance {self.instance_id} stepped without work")
+        duration = 0.0
+        first_tokens: List[CompletedRequest] = []
+        admitted: List[_RunningSequence] = []
+        while self.waiting and len(self.running) < self.config.max_running:
+            request = self.waiting.popleft()
+            duration += self.costs.prefill_time(request.prompt_tokens)
+            sequence = _RunningSequence(request=request, generated=1)
+            self.running.append(sequence)
+            admitted.append(sequence)
+        if self.running:
+            if self.config.deferred_capture and self.config.use_cuda_graphs:
+                padded = self.costs.padded_batch(len(self.running))
+                if padded not in self._captured_batches:
+                    # §2.4: the capture latency lands on this iteration's
+                    # requests instead of on the cold start.
+                    duration += self.costs.deferred_capture_penalty(padded)
+                    self._captured_batches.add(padded)
+            contexts = [seq.context for seq in self.running]
+            duration += self.costs.decode_step_time(
+                len(self.running), sum(contexts) / len(contexts),
+                self.config.use_cuda_graphs)
+            for sequence in self.running:
+                if sequence not in admitted:
+                    sequence.generated += 1
+        end = now + duration
+        for sequence in admitted:
+            sequence.first_token_time = end
+        ttfts = [(seq.request, end - seq.request.arrival_time)
+                 for seq in admitted]
+        completed = [CompletedRequest(
+                        seq.request,
+                        ttft=seq.first_token_time - seq.request.arrival_time,
+                        completion_time=end)
+                     for seq in self.running if seq.done]
+        self.running = [seq for seq in self.running if not seq.done]
+        self.last_busy_at = end
+        self.busy_time += duration
+        return StepResult(duration=duration, ttfts=ttfts, completed=completed)
+
+
+@dataclass
+class StepResult:
+    duration: float
+    ttfts: List
+    completed: List[CompletedRequest]

@@ -1,0 +1,71 @@
+"""Metrics collected by the cluster simulator (Figures 10/11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.utils.stats import mean, percentile, summarize
+
+
+@dataclass
+class SimulationMetrics:
+    """TTFT tail, throughput, and cold-start accounting for one run."""
+
+    horizon: float = 0.0
+    ttfts: List[float] = field(default_factory=list)
+    latencies: List[float] = field(default_factory=list)
+    completed: int = 0
+    arrived: int = 0
+    cold_starts: int = 0
+    provisioned_gpu_seconds: float = 0.0   # ready time across instances
+    busy_gpu_seconds: float = 0.0          # time instances spent serving
+
+    def record_ttft(self, ttft: float) -> None:
+        self.ttfts.append(ttft)
+
+    def record_completion(self, latency: float,
+                          in_horizon: bool = True) -> None:
+        self.latencies.append(latency)
+        if in_horizon:
+            self.completed += 1
+
+    @property
+    def p99_ttft(self) -> float:
+        return percentile(self.ttfts, 99.0)
+
+    @property
+    def p50_ttft(self) -> float:
+        return percentile(self.ttfts, 50.0)
+
+    @property
+    def mean_ttft(self) -> float:
+        return mean(self.ttfts)
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Busy fraction of provisioned GPU time (hot spares drag it down)."""
+        if self.provisioned_gpu_seconds <= 0:
+            return 0.0
+        return min(1.0, self.busy_gpu_seconds / self.provisioned_gpu_seconds)
+
+    @property
+    def wasted_gpu_seconds(self) -> float:
+        return max(0.0, self.provisioned_gpu_seconds - self.busy_gpu_seconds)
+
+    @property
+    def throughput(self) -> float:
+        """Achieved serving throughput: completions per simulated second."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.completed / self.horizon
+
+    def summary(self) -> Dict[str, float]:
+        report = {f"ttft_{k}": v for k, v in summarize(self.ttfts).items()}
+        report.update({
+            "arrived": float(self.arrived),
+            "completed": float(self.completed),
+            "throughput": self.throughput,
+            "cold_starts": float(self.cold_starts),
+        })
+        return report

@@ -1,0 +1,170 @@
+"""The discrete-event cluster simulator (paper §7.5).
+
+Requests arrive (Poisson, ShareGPT-like shapes) at a router over a pool of
+GPUs.  The router sends each request to the least-loaded live instance; when
+every instance is saturated and a GPU is free, the autoscaling policy
+launches a new instance, which becomes ready after the *strategy-specific
+cold-start latency* — the quantity Medusa shrinks.  Runtime initialization
+is assumed warm-pooled (as in the paper: "the time required to launch an
+inference serving instance is equal to the duration of the loading phase").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InvalidValueError, SchedulingError
+from repro.serverless.costs import ServingCostModel
+from repro.serverless.instance import Instance, InstanceConfig
+from repro.serverless.metrics import SimulationMetrics
+from repro.serverless.workload import Request
+
+_ARRIVAL = 0
+_INSTANCE_READY = 1
+_STEP_DONE = 2
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """One cluster-simulation scenario."""
+
+    num_gpus: int = 4
+    cold_start_latency: float = 3.0       # loading-phase time of the strategy
+    use_cuda_graphs: bool = True
+    deferred_capture: bool = False        # §2.4: capture lazily while serving
+    max_running: int = 14                 # per-instance concurrent sequences
+    initial_instances: int = 0            # serverless: scale from zero
+    hot_spares: int = 0                   # §2.4: always-on warm instances
+    keep_alive: float = 20.0              # idle seconds before retiring
+    drain: bool = True                    # serve queued work past the horizon
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0:
+            raise InvalidValueError("num_gpus must be positive")
+        if self.initial_instances + self.hot_spares > self.num_gpus:
+            raise InvalidValueError(
+                "initial_instances + hot_spares cannot exceed num_gpus")
+
+
+class ClusterSimulator:
+    """Runs one scenario over one request trace."""
+
+    def __init__(self, costs: ServingCostModel, config: SimulationConfig):
+        self.costs = costs
+        self.config = config
+        self.instances: List[Instance] = []
+        self.metrics = SimulationMetrics()
+        self._events: List[Tuple[float, int, int, object]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+
+    # -- event plumbing -----------------------------------------------------
+
+    def _push(self, time: float, kind: int, payload: object) -> None:
+        heapq.heappush(self._events, (time, kind, next(self._seq), payload))
+
+    # -- instance management ------------------------------------------------------
+
+    def _live_instances(self) -> List[Instance]:
+        return [inst for inst in self.instances if not inst.retired]
+
+    def _launch_instance(self, now: float, cold: bool = True,
+                         hot_spare: bool = False) -> Instance:
+        latency = self.config.cold_start_latency if cold else 0.0
+        instance = Instance(
+            costs=self.costs,
+            config=InstanceConfig(
+                max_running=self.config.max_running,
+                use_cuda_graphs=self.config.use_cuda_graphs,
+                deferred_capture=self.config.deferred_capture),
+            launched_at=now,
+            cold_start_latency=latency,
+        )
+        instance.hot_spare = hot_spare
+        self.instances.append(instance)
+        if cold:
+            self.metrics.cold_starts += 1
+        self._push(instance.ready_at, _INSTANCE_READY, instance)
+        return instance
+
+    def _route(self, request: Request, now: float) -> None:
+        live = self._live_instances()
+        candidates = [inst for inst in live
+                      if inst.load < self.config.max_running]
+        if candidates:
+            target = min(candidates, key=lambda inst: (inst.load,
+                                                       inst.ready_at))
+        elif len(live) < self.config.num_gpus:
+            target = self._launch_instance(now)
+        else:
+            # Saturated: queue at the shortest backlog.
+            target = min(live, key=lambda inst: inst.load)
+        target.enqueue(request)
+        self._maybe_step(target, now)
+
+    def _maybe_step(self, instance: Instance, now: float) -> None:
+        if (instance.stepping or instance.retired
+                or now < instance.ready_at or not instance.has_work):
+            return
+        instance.stepping = True
+        result = instance.run_step(now)
+        self._push(now + result.duration, _STEP_DONE, (instance, result))
+
+    def _maybe_retire(self, instance: Instance, now: float) -> None:
+        if instance.has_work or instance.stepping or instance.retired:
+            return
+        if getattr(instance, "hot_spare", False):
+            return   # §2.4: hot spares stay provisioned (and waste GPUs)
+        floor = self.config.initial_instances + self.config.hot_spares
+        if now - instance.last_busy_at >= self.config.keep_alive and \
+                len(self._live_instances()) > floor:
+            instance.retired = True
+            instance.retired_at = now
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self, requests: List[Request], horizon: float) -> SimulationMetrics:
+        self.metrics = SimulationMetrics(horizon=horizon)
+        self.metrics.arrived = len(requests)
+        self._events = []
+        for _ in range(self.config.initial_instances):
+            self._launch_instance(0.0, cold=False)
+        for _ in range(self.config.hot_spares):
+            self._launch_instance(0.0, cold=False, hot_spare=True)
+        for request in requests:
+            self._push(request.arrival_time, _ARRIVAL, request)
+
+        while self._events:
+            time, kind, _seq, payload = heapq.heappop(self._events)
+            self._now = time
+            if not self.config.drain and time > horizon and kind == _ARRIVAL:
+                continue
+            if kind == _ARRIVAL:
+                self._route(payload, time)
+            elif kind == _INSTANCE_READY:
+                self._maybe_step(payload, time)
+            elif kind == _STEP_DONE:
+                instance, result = payload
+                instance.stepping = False
+                for _request, ttft in result.ttfts:
+                    self.metrics.record_ttft(ttft)
+                for completion in result.completed:
+                    self.metrics.record_completion(
+                        completion.latency,
+                        in_horizon=completion.completion_time <= horizon)
+                self._maybe_step(instance, time)
+                self._maybe_retire(instance, time)
+            else:  # pragma: no cover - event kinds are closed
+                raise SchedulingError(f"unknown event kind {kind}")
+
+        # GPU-time accounting (the §2.4 hot-spares waste argument).
+        end_of_run = max(horizon, self._now)
+        for instance in self.instances:
+            until = getattr(instance, "retired_at", end_of_run)
+            self.metrics.provisioned_gpu_seconds += max(
+                0.0, until - instance.ready_at)
+            self.metrics.busy_gpu_seconds += instance.busy_time
+        return self.metrics

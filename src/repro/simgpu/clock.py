@@ -1,0 +1,65 @@
+"""Simulated wall clock.
+
+All latencies in this reproduction are *simulated* seconds advanced through
+this clock; nothing sleeps.  The clock also keeps a labelled span log so the
+engine can report per-stage breakdowns (Figures 1, 2, 8) without re-deriving
+them from constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+import contextlib
+
+
+@dataclass
+class Span:
+    """A labelled, closed interval of simulated time."""
+
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SimClock:
+    """Monotonically advancing simulated clock with span recording."""
+
+    now: float = 0.0
+    spans: List[Span] = field(default_factory=list)
+
+    def advance(self, seconds: float) -> float:
+        """Advance simulated time by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds}")
+        self.now += seconds
+        return self.now
+
+    def advance_to(self, deadline: float) -> float:
+        """Advance to an absolute time, never moving backwards."""
+        if deadline > self.now:
+            self.now = deadline
+        return self.now
+
+    @contextlib.contextmanager
+    def span(self, label: str) -> Iterator[Span]:
+        """Record the simulated time spent inside the context as a span."""
+        record = Span(label=label, start=self.now, end=self.now)
+        yield record
+        record.end = self.now
+        self.spans.append(record)
+
+    def spans_named(self, label: str) -> List[Span]:
+        return [s for s in self.spans if s.label == label]
+
+    def total(self, label: str) -> float:
+        return sum(s.duration for s in self.spans_named(label))
+
+    def last(self, label: str) -> Optional[Span]:
+        named = self.spans_named(label)
+        return named[-1] if named else None

@@ -1,0 +1,354 @@
+"""Simulated device memory: cudaMalloc/cudaFree with realistic hazards.
+
+Two properties of real ``cudaMalloc`` matter to Medusa and are reproduced
+faithfully here:
+
+1. **Non-deterministic addresses across process launches.**  The heap base is
+   randomized per process (see :class:`repro.simgpu.process.CudaProcess`), so
+   raw pointers recorded in a CUDA graph are invalid in the next cold start —
+   Challenge I of the paper (§2.5).
+2. **Address reuse within a launch.**  Freed regions are recycled LIFO, so a
+   later allocation of a compatible size returns an address that an *earlier,
+   already-freed* allocation also returned.  Naively matching a kernel
+   parameter against "all addresses ever returned" then finds multiple
+   candidates — the false-positive scenario of Figure 6 that motivates
+   trace-based backward matching (§4.1).
+
+Buffers additionally carry a small numpy *payload* decoupled from their
+*declared* byte size: declared sizes drive memory accounting at real-model
+scale (a 40 GB device "filling up" exactly as in the paper), payloads keep
+kernel compute cheap while remaining real data whose corruption is
+observable.  Freed buffers keep a poisoned payload: a stale pointer that
+sneaks through restoration produces visibly corrupt output, never a silent
+pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import IllegalMemoryAccessError, InvalidValueError, OutOfMemoryError
+
+#: Allocation granularity, mirroring the CUDA allocator's 256-byte alignment.
+ALIGNMENT = 256
+
+#: Value poured into a buffer's payload when it is freed.
+POISON_VALUE = float("nan")
+
+#: Buffers above this size are indexed for interior-pointer resolution.
+_LARGE_THRESHOLD = 64 * 1024
+
+
+def _align(size: int) -> int:
+    return (size + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+@dataclass
+class Buffer:
+    """One live (or historical) device allocation."""
+
+    address: int
+    size: int                      # declared bytes (drives memory accounting)
+    alloc_index: int               # position in this process's allocation sequence
+    tag: str = ""                  # provenance label: weight/activation/workspace/kv/...
+    pool: str = "default"          # memory pool (PyTorch keeps graph pools private)
+    payload: Optional[np.ndarray] = None
+    live: bool = True
+    freed_at_index: Optional[int] = None   # event index of the free, if freed
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.address <= address < self.end
+
+    def write(self, data: np.ndarray) -> None:
+        """Set payload contents (a device-side memcpy destination)."""
+        if not self.live:
+            raise IllegalMemoryAccessError(
+                f"write to freed buffer at 0x{self.address:x}")
+        self.payload = np.array(data, dtype=np.float64, copy=True)
+
+    def read(self) -> np.ndarray:
+        """Read payload contents (raises on a dangling pointer)."""
+        if not self.live:
+            raise IllegalMemoryAccessError(
+                f"read from freed buffer at 0x{self.address:x}")
+        if self.payload is None:
+            raise IllegalMemoryAccessError(
+                f"read from uninitialized buffer at 0x{self.address:x}")
+        return self.payload
+
+
+@dataclass
+class AllocationEvent:
+    """One entry of the (de)allocation sequence Medusa replays (§4.2)."""
+
+    kind: str                      # "alloc" | "free"
+    address: int
+    size: int                      # bytes for alloc; 0 for free
+    alloc_index: Optional[int]     # sequence index of the allocation (both kinds)
+    tag: str = ""
+    pooled: bool = False           # free kind: caching-allocator free vs cudaFree
+    pool: str = "default"          # memory pool the block belongs to
+
+
+class DeviceAllocator:
+    """cudaMalloc/cudaFree over a randomized heap with LIFO reuse.
+
+    ``base`` is the randomized heap start supplied by the owning process.
+    The allocator is a bump allocator with per-size free lists; freeing and
+    re-allocating the same size returns the most recently freed address,
+    exactly the aliasing behaviour the paper's Figure 6 illustrates.
+    """
+
+    def __init__(self, base: int, capacity_bytes: int):
+        if base % ALIGNMENT:
+            raise InvalidValueError(f"heap base 0x{base:x} is not aligned")
+        self.base = base
+        self.capacity_bytes = capacity_bytes
+        self._cursor = base
+        self._free_lists: Dict[int, List[int]] = {}
+        self._live: Dict[int, Buffer] = {}
+        self._history: List[Buffer] = []        # every buffer ever allocated
+        self.events: List[AllocationEvent] = []  # the replayable sequence
+        self.bytes_in_use = 0
+        self.peak_bytes = 0
+        self._alloc_counter = 0
+        self._pending: set = set()            # addresses sitting on free lists
+        self._large_live: Dict[int, Buffer] = {}   # interior-pointer targets
+
+    # -- core API -----------------------------------------------------------
+
+    def malloc(self, size: int, tag: str = "",
+               payload: Optional[np.ndarray] = None,
+               pool: str = "default") -> Buffer:
+        """Allocate ``size`` declared bytes; optionally seed a payload.
+
+        ``pool`` namespaces the free lists: blocks freed in one pool are
+        never handed to allocations from another.  This mirrors PyTorch's
+        private CUDA-graph memory pools — the property that keeps ordinary
+        eager allocations from claiming (and later corrupting) memory that
+        captured graphs still execute through.
+        """
+        if size <= 0:
+            raise InvalidValueError(f"cudaMalloc of non-positive size {size}")
+        aligned = _align(size)
+        if self.bytes_in_use + aligned > self.capacity_bytes:
+            raise OutOfMemoryError(
+                f"device OOM: in use {self.bytes_in_use} + request {aligned} "
+                f"> capacity {self.capacity_bytes}")
+        free_list = self._free_lists.get((pool, aligned))
+        carried_payload: Optional[np.ndarray] = None
+        if free_list:
+            address, pooled, carried_payload = free_list.pop()  # LIFO reuse
+            self._pending.discard(address)
+            if pooled:
+                # A pool-freed block handed out again: the old Buffer object
+                # stops resolving, but the memory (and its stale contents)
+                # carries over to the new owner — exactly how the caching
+                # allocator behaves on real GPUs.  bytes_in_use was never
+                # decremented by the pooled free, so it does not grow here.
+                superseded = self._live.pop(address, None)
+                if superseded is not None:
+                    superseded.live = False
+            else:
+                self.bytes_in_use += aligned
+        else:
+            address = self._cursor
+            self._cursor += aligned
+            self.bytes_in_use += aligned
+        index = self._alloc_counter
+        self._alloc_counter += 1
+        buffer = Buffer(address=address, size=aligned, alloc_index=index,
+                        tag=tag, pool=pool)
+        if carried_payload is not None:
+            buffer.payload = carried_payload
+        if payload is not None:
+            buffer.write(payload)
+        self._live[address] = buffer
+        self._history.append(buffer)
+        if aligned > _LARGE_THRESHOLD:
+            self._large_live[address] = buffer
+        self.peak_bytes = max(self.peak_bytes, self.bytes_in_use)
+        self.events.append(
+            AllocationEvent("alloc", address, aligned, index, tag, pool=pool))
+        return buffer
+
+    def map_fixed(self, address: int, size: int, tag: str = "",
+                  pool: str = "default",
+                  payload: Optional[np.ndarray] = None) -> Buffer:
+        """Map a buffer at a *fixed* address (CRIU-style snapshot restore).
+
+        Checkpoint/restore systems reconstruct an address space verbatim so
+        raw pointers inside driver objects stay valid; this is the primitive
+        that makes the §9 baseline implementable.  The address must not
+        overlap any live allocation.
+        """
+        if address % ALIGNMENT:
+            raise InvalidValueError(
+                f"fixed mapping at unaligned address 0x{address:x}")
+        aligned = _align(size)
+        if self.bytes_in_use + aligned > self.capacity_bytes:
+            raise OutOfMemoryError(
+                f"device OOM mapping 0x{address:x} (+{aligned})")
+        for live in self._live.values():
+            if address < live.end and live.address < address + aligned:
+                raise IllegalMemoryAccessError(
+                    f"fixed mapping 0x{address:x}..+{aligned} overlaps live "
+                    f"buffer 0x{live.address:x}..+{live.size}")
+        index = self._alloc_counter
+        self._alloc_counter += 1
+        buffer = Buffer(address=address, size=aligned, alloc_index=index,
+                        tag=tag, pool=pool)
+        if payload is not None:
+            buffer.write(payload)
+        self._live[address] = buffer
+        self._history.append(buffer)
+        if aligned > _LARGE_THRESHOLD:
+            self._large_live[address] = buffer
+        self.bytes_in_use += aligned
+        self.peak_bytes = max(self.peak_bytes, self.bytes_in_use)
+        self._cursor = max(self._cursor, address + aligned)
+        self.events.append(
+            AllocationEvent("alloc", address, aligned, index, tag, pool=pool))
+        return buffer
+
+    def free(self, address: int) -> None:
+        """``cudaFree``: return memory to the driver.
+
+        The payload is poisoned and the address stops resolving — a graph
+        that still references it faults on replay (the hazard PyTorch avoids
+        by never cudaFree-ing capture-referenced memory, §2.2).
+        """
+        buffer = self._live.pop(address, None)
+        if buffer is None or self._pending_pool_reuse(address):
+            raise IllegalMemoryAccessError(
+                f"cudaFree of unknown or already-freed address 0x{address:x}")
+        buffer.live = False
+        buffer.freed_at_index = len(self.events)
+        if buffer.payload is not None:
+            buffer.payload = np.full_like(buffer.payload, POISON_VALUE)
+        self._free_lists.setdefault((buffer.pool, buffer.size), []).append(
+            (address, False, None))
+        self._pending.add(address)
+        self._large_live.pop(address, None)
+        self.bytes_in_use -= buffer.size
+        self.events.append(
+            AllocationEvent("free", address, 0, buffer.alloc_index, buffer.tag))
+
+    def pool_free(self, address: int) -> None:
+        """Caching-allocator free (the PyTorch CUDA allocator's ``free``).
+
+        The block returns to the allocator's free list for LIFO reuse, but
+        the memory stays mapped: the buffer keeps resolving and its stale
+        contents stay readable until another allocation claims the block.
+        This is what makes replaying a graph whose "temporary" buffers were
+        freed both possible and safe (paper §4.3) — and what creates the
+        address-reuse false positives of Figure 6.
+        """
+        buffer = self._live.get(address)
+        if buffer is None or self._pending_pool_reuse(address):
+            raise IllegalMemoryAccessError(
+                f"pool free of unknown or already-freed address 0x{address:x}")
+        buffer.freed_at_index = len(self.events)
+        self._free_lists.setdefault((buffer.pool, buffer.size), []).append(
+            (address, True, buffer.payload))
+        self._pending.add(address)
+        self.events.append(
+            AllocationEvent("free", address, 0, buffer.alloc_index, buffer.tag,
+                            pooled=True))
+
+    def empty_cache(self) -> int:
+        """``torch.cuda.empty_cache()``: cudaFree every cached free block.
+
+        Pool-freed blocks are truly released (they stop resolving, their
+        contents are poisoned, and the device's free memory grows); blocks
+        that were already cudaFree'd simply leave the free lists.  Returns
+        the number of bytes released.  Recorded as a single replayable event.
+        """
+        released = 0
+        for entries in self._free_lists.values():
+            for address, pooled, _payload in entries:
+                if not pooled:
+                    continue
+                buffer = self._live.pop(address, None)
+                if buffer is None:
+                    continue
+                buffer.live = False
+                self._large_live.pop(address, None)
+                if buffer.payload is not None:
+                    buffer.payload = np.full_like(buffer.payload, POISON_VALUE)
+                self.bytes_in_use -= buffer.size
+                released += buffer.size
+        self._free_lists.clear()
+        self._pending.clear()
+        self.events.append(AllocationEvent("empty_cache", 0, 0, None))
+        return released
+
+    def _pending_pool_reuse(self, address: int) -> bool:
+        """True if ``address`` already sits on a free list awaiting reuse."""
+        return address in self._pending
+
+    @property
+    def reserved_bytes(self) -> int:
+        """Bytes sitting on free lists awaiting reuse (pool-freed only)."""
+        total = 0
+        for (_pool, size), entries in self._free_lists.items():
+            total += sum(size for _addr, pooled, _payload in entries if pooled)
+        return total
+
+    # -- lookups -------------------------------------------------------------
+
+    def resolve(self, address: int) -> Buffer:
+        """Map a raw pointer to the live buffer containing it.
+
+        Pointers may land inside a buffer, not only at its start (§4.1:
+        "matched when the addresses are identical or within the range of the
+        allocated buffer").
+        """
+        buffer = self._live.get(address)
+        if buffer is not None:
+            return buffer
+        for candidate in self._large_live.values():
+            if candidate.contains(address):
+                return candidate
+        for candidate in self._live.values():
+            if candidate.contains(address):
+                return candidate
+        raise IllegalMemoryAccessError(
+            f"pointer 0x{address:x} maps to no live allocation")
+
+    def try_resolve(self, address: int) -> Optional[Buffer]:
+        try:
+            return self.resolve(address)
+        except IllegalMemoryAccessError:
+            return None
+
+    def buffer_by_alloc_index(self, index: int) -> Buffer:
+        """The buffer returned by the ``index``-th allocation of this process."""
+        if not 0 <= index < len(self._history):
+            raise InvalidValueError(
+                f"allocation index {index} out of range "
+                f"(process performed {len(self._history)} allocations)")
+        return self._history[index]
+
+    @property
+    def live_buffers(self) -> Tuple[Buffer, ...]:
+        return tuple(self._live.values())
+
+    @property
+    def history(self) -> Tuple[Buffer, ...]:
+        return tuple(self._history)
+
+    @property
+    def num_allocations(self) -> int:
+        return self._alloc_counter
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.bytes_in_use

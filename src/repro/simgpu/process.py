@@ -1,0 +1,251 @@
+"""The simulated process: one cold start = one fresh ``CudaProcess``.
+
+Each process launch draws a new seed-derived address layout: the device heap
+base and every library's load address are randomized, so *nothing* recorded
+as a raw address in a previous process is valid here.  This is the
+non-determinism Medusa's materialization has to survive (paper §2.5).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import enum
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidValueError
+from repro.simgpu.clock import SimClock
+from repro.simgpu.costmodel import CostModel
+from repro.simgpu.kernels import (
+    CONST32_SIZE,
+    KernelParam,
+    KernelSpec,
+    ParamKind,
+    magic_values,
+)
+from repro.simgpu.libraries import LibraryCatalog
+from repro.simgpu.driver import CudaDriver
+from repro.simgpu.memory import ALIGNMENT, Buffer, DeviceAllocator
+from repro.simgpu.stream import LaunchRecord, Stream
+from repro.utils.rng import SeedSequence
+
+#: Device heap region (above the library text region, see driver.py).
+_HEAP_REGION_BASE = 0x7F00_0000_0000
+_HEAP_REGION_SPAN = 0x0040_0000_0000
+
+
+class ExecutionMode(enum.Enum):
+    """COMPUTE executes kernel numpy ops; TIMING only advances the clock."""
+
+    COMPUTE = "compute"
+    TIMING = "timing"
+
+
+class Interceptor:
+    """Base class for Medusa's offline hooks (allocation + launch trace).
+
+    ``adds_overhead`` controls whether the process charges the per-event
+    interception cost while this hook is attached; Medusa's offline tracer
+    pays it, a passive profiler does not.
+    """
+
+    adds_overhead = True
+
+    def on_alloc(self, buffer: Buffer) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_free(self, buffer: Buffer) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_launch(self, record: LaunchRecord) -> None:  # pragma: no cover
+        pass
+
+    def on_empty_cache(self) -> None:  # pragma: no cover - interface
+        pass
+
+
+class CudaProcess:
+    """One simulated process: clock + allocator + driver + streams."""
+
+    def __init__(self, seed: int, catalog: LibraryCatalog,
+                 cost_model: Optional[CostModel] = None,
+                 mode: ExecutionMode = ExecutionMode.COMPUTE,
+                 name: str = "proc"):
+        self.seed = int(seed)
+        self.name = name
+        self.catalog = catalog
+        self.cost_model = cost_model or CostModel()
+        self.mode = mode
+        self.clock = SimClock()
+        seeds = SeedSequence(self.seed).child("process", name)
+        heap_offset = int(seeds.generator("heap").integers(
+            0, _HEAP_REGION_SPAN // ALIGNMENT))
+        self.allocator = DeviceAllocator(
+            base=_HEAP_REGION_BASE + heap_offset * ALIGNMENT,
+            capacity_bytes=self.cost_model.gpu.total_memory_bytes)
+        self.driver = CudaDriver(catalog, seeds.child("aslr"))
+        self.default_stream = Stream(self, name="stream0")
+        self._interceptors: List[Interceptor] = []
+        self._magic: Dict[str, Tuple[int, int]] = {}   # kernel -> (addr_a, addr_b)
+        self._current_pool = "default"
+
+    # -- interception ---------------------------------------------------------
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: Interceptor) -> None:
+        self._interceptors.remove(interceptor)
+
+    @property
+    def intercepted(self) -> bool:
+        return bool(self._interceptors)
+
+    def _charge_interception(self) -> None:
+        if any(i.adds_overhead for i in self._interceptors):
+            self.clock.advance(self.cost_model.interception_per_event)
+
+    def notify_launch(self, record: LaunchRecord) -> None:
+        if not self._interceptors:
+            return
+        self._charge_interception()
+        for interceptor in self._interceptors:
+            interceptor.on_launch(record)
+
+    # -- memory ---------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def memory_pool(self, pool: str):
+        """Route allocations to a named pool (PyTorch's graph-pool analogue)."""
+        previous = self._current_pool
+        self._current_pool = pool
+        try:
+            yield
+        finally:
+            self._current_pool = previous
+
+    def malloc(self, size: int, tag: str = "",
+               payload: Optional[np.ndarray] = None,
+               pool: Optional[str] = None) -> Buffer:
+        buffer = self.allocator.malloc(size, tag=tag, payload=payload,
+                                       pool=pool or self._current_pool)
+        if self._interceptors:
+            self._charge_interception()
+            for interceptor in self._interceptors:
+                interceptor.on_alloc(buffer)
+        return buffer
+
+    def free(self, address: int) -> None:
+        buffer = self.allocator.resolve(address)
+        self.allocator.free(address)
+        if self._interceptors:
+            self._charge_interception()
+            for interceptor in self._interceptors:
+                interceptor.on_free(buffer)
+
+    def pool_free(self, address: int) -> None:
+        """Caching-allocator free (see DeviceAllocator.pool_free)."""
+        buffer = self.allocator.resolve(address)
+        self.allocator.pool_free(address)
+        if self._interceptors:
+            self._charge_interception()
+            for interceptor in self._interceptors:
+                interceptor.on_free(buffer)
+
+    def memcpy_h2d(self, buffer: Buffer, host_data: np.ndarray) -> None:
+        """``cudaMemcpyAsync`` host->device: write payload, pay bandwidth.
+
+        Time is charged per copy from the buffer's *declared* size, so a
+        whole-model weight load mechanically sums to
+        ``param_bytes / h2d_bandwidth`` — the loading-stage formula.
+        """
+        self.clock.advance(buffer.size / self.cost_model.gpu.h2d_bandwidth)
+        buffer.write(host_data)
+
+    def empty_cache(self) -> int:
+        """``torch.cuda.empty_cache()`` — releases cached pool blocks."""
+        released = self.allocator.empty_cache()
+        if self._interceptors:
+            self._charge_interception()
+            for interceptor in self._interceptors:
+                interceptor.on_empty_cache()
+        return released
+
+    # -- cuBLAS-style permanent workspace ("magic") buffers ---------------------
+
+    def has_magic(self, kernel_name: str) -> bool:
+        return kernel_name in self._magic
+
+    def setup_magic(self, spec: KernelSpec) -> Tuple[int, int]:
+        """First-touch workspace setup: allocate + write the magic scalars.
+
+        These are the paper's *permanent buffers*: allocated during warm-up,
+        never freed, each holding a 4-byte magic value the kernel checks at
+        every launch (§4.3).
+        """
+        value_a, value_b = magic_values(spec.name)
+        buf_a = self.malloc(CONST32_SIZE, tag="magic",
+                            payload=np.full((1, 1), float(value_a)))
+        buf_b = self.malloc(CONST32_SIZE, tag="magic",
+                            payload=np.full((1, 1), float(value_b)))
+        self._magic[spec.name] = (buf_a.address, buf_b.address)
+        return buf_a.address, buf_b.address
+
+    def register_magic(self, kernel_name: str,
+                       addr_a: int, addr_b: int) -> None:
+        """Adopt pre-existing magic buffers (restoration/plan-launch path)."""
+        self._magic[kernel_name] = (addr_a, addr_b)
+
+    def reset_magic_workspaces(self) -> None:
+        """Drop all per-kernel magic workspaces (pool-freeing their buffers).
+
+        Mirrors PyTorch allocating a *fresh* cuBLAS workspace for graph
+        capture: the capture-stage warm-up re-acquires per-kernel workspace
+        buffers inside the capture window, which is what makes them land in
+        the "permanent" contents class Medusa must dump and restore (§4.3).
+        """
+        for addr_a, addr_b in self._magic.values():
+            self.pool_free(addr_a)
+            self.pool_free(addr_b)
+        self._magic.clear()
+
+    def patch_magic_params(self, spec: KernelSpec,
+                           params: Sequence[KernelParam]) -> List[KernelParam]:
+        """Substitute the registered magic buffer addresses into ``params``."""
+        addr_a, addr_b = self._magic[spec.name]
+        patched = list(params)
+        for index, slot in enumerate(spec.params):
+            if slot.kind is not ParamKind.POINTER:
+                continue
+            if slot.role == "magic_a":
+                patched[index] = KernelParam(slot.size, addr_a)
+            elif slot.role == "magic_b":
+                patched[index] = KernelParam(slot.size, addr_b)
+        return patched
+
+    # -- launching & capture -----------------------------------------------------
+
+    def launch(self, spec: KernelSpec, params: Sequence[KernelParam],
+               launch_dims: Optional[Dict[str, int]] = None,
+               preset_magic: bool = False) -> None:
+        self.default_stream.launch_kernel(spec, params, launch_dims,
+                                          preset_magic=preset_magic)
+
+    def synchronize(self) -> None:
+        self.default_stream.synchronize()
+
+    # -- payload snapshots (validation support, §4) --------------------------------
+
+    def snapshot_payloads(self) -> Dict[int, Optional[np.ndarray]]:
+        return {
+            buffer.address:
+                None if buffer.payload is None else buffer.payload.copy()
+            for buffer in self.allocator.live_buffers
+        }
+
+    def restore_payloads(self, snapshot: Dict[int, Optional[np.ndarray]]) -> None:
+        for buffer in self.allocator.live_buffers:
+            if buffer.address in snapshot:
+                saved = snapshot[buffer.address]
+                buffer.payload = None if saved is None else saved.copy()

@@ -1,0 +1,41 @@
+"""Deterministic, hierarchical random streams.
+
+Every source of simulated non-determinism (malloc addresses, ASLR bases,
+arrival processes, request lengths) draws from a named child stream derived
+from one root seed.  Two process launches with *different* seeds therefore
+see different addresses — the non-determinism Medusa must defeat — while the
+whole test suite stays reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, *names: object) -> int:
+    """Derive a child seed from ``root_seed`` and a path of names.
+
+    The derivation is stable across runs and platforms (SHA-256 based), so a
+    simulation seeded with ``root_seed`` always unfolds identically.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(root_seed)).encode())
+    for name in names:
+        hasher.update(b"/")
+        hasher.update(str(name).encode())
+    return int.from_bytes(hasher.digest()[:8], "little")
+
+
+class SeedSequence:
+    """A named tree of numpy Generators rooted at a single seed."""
+
+    def __init__(self, root_seed: int):
+        self.root_seed = int(root_seed)
+
+    def child(self, *names: object) -> "SeedSequence":
+        return SeedSequence(derive_seed(self.root_seed, *names))
+
+    def generator(self, *names: object) -> np.random.Generator:
+        return np.random.default_rng(derive_seed(self.root_seed, *names))

@@ -1,0 +1,45 @@
+"""Latency statistics used by the serving metrics and benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) using linear interpolation.
+
+    Implemented directly (rather than via numpy) so the serverless simulator
+    has no array dependency on its hot path and so the behaviour is pinned
+    for the property tests.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """A standard latency summary: count/mean/p50/p90/p99/max."""
+    return {
+        "count": float(len(values)),
+        "mean": mean(values),
+        "p50": percentile(values, 50.0),
+        "p90": percentile(values, 90.0),
+        "p99": percentile(values, 99.0),
+        "max": max(values) if values else 0.0,
+    }

@@ -1,0 +1,137 @@
+"""Shared fixtures: a small hand-built library catalog and processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simgpu.kernels import KernelSpec, ParamKind, ParamSpec
+from repro.simgpu.libraries import DynamicLibrary, LibraryCatalog
+from repro.simgpu.modules import CudaModule
+from repro.simgpu.process import CudaProcess, ExecutionMode
+
+PTR = ParamKind.POINTER
+C32 = ParamKind.CONST32
+C64 = ParamKind.CONST64
+
+
+def make_small_catalog() -> LibraryCatalog:
+    """Two libraries: a visible 'torch-like' one and a hidden 'cublas-like' one."""
+    norm = KernelSpec(
+        name="_Z9layernormPfS_S_i", library="libtorch_sim",
+        module="mod_norm", op="layernorm",
+        params=(
+            ParamSpec(PTR, "input"),
+            ParamSpec(PTR, "weight"),
+            ParamSpec(PTR, "output"),
+            ParamSpec(C32, "n"),
+        ))
+    add = KernelSpec(
+        name="_Z12residual_addPfS_S_", library="libtorch_sim",
+        module="mod_elementwise", op="residual_add",
+        params=(
+            ParamSpec(PTR, "input"),
+            ParamSpec(PTR, "input_b"),
+            ParamSpec(PTR, "output"),
+        ))
+    copy = KernelSpec(
+        name="_Z11copy_kernelPfS_", library="libtorch_sim",
+        module="mod_elementwise", op="copy",
+        params=(
+            ParamSpec(PTR, "input"),
+            ParamSpec(PTR, "output"),
+        ))
+    libtorch = DynamicLibrary(
+        name="libtorch_sim",
+        modules=(
+            CudaModule("mod_norm", "libtorch_sim", (norm,)),
+            CudaModule("mod_elementwise", "libtorch_sim", (add, copy)),
+        ),
+        requires_init=False)
+
+    gemm_hidden = KernelSpec(
+        name="_ZN7cublas_sim4gemmEv", library="libcublas_sim",
+        module="mod_gemm", op="gemm_magic", hidden=True,
+        host_entry="cublasGemmEx",
+        needs_magic=True,
+        params=(
+            ParamSpec(PTR, "input"),
+            ParamSpec(PTR, "weight"),
+            ParamSpec(PTR, "output"),
+            ParamSpec(PTR, "magic_a"),
+            ParamSpec(PTR, "magic_b"),
+            ParamSpec(C32, "magic_a_expected"),
+            ParamSpec(C32, "magic_b_expected"),
+            ParamSpec(C64, "seed"),
+        ))
+    gemm_plain = KernelSpec(
+        name="_ZN7cublas_sim10gemm_plainEv", library="libcublas_sim",
+        module="mod_gemm", op="gemm", hidden=True,
+        host_entry="cublasGemmEx",
+        params=(
+            ParamSpec(PTR, "input"),
+            ParamSpec(PTR, "weight"),
+            ParamSpec(PTR, "output"),
+        ))
+    libcublas = DynamicLibrary(
+        name="libcublas_sim",
+        modules=(CudaModule("mod_gemm", "libcublas_sim",
+                            (gemm_hidden, gemm_plain)),),
+        requires_init=True)
+    return LibraryCatalog((libtorch, libcublas))
+
+
+@pytest.fixture
+def catalog() -> LibraryCatalog:
+    return make_small_catalog()
+
+
+@pytest.fixture
+def process(catalog) -> CudaProcess:
+    return CudaProcess(seed=1234, catalog=catalog, mode=ExecutionMode.COMPUTE)
+
+
+@pytest.fixture
+def process_factory(catalog):
+    def factory(seed: int, mode: ExecutionMode = ExecutionMode.COMPUTE,
+                name: str = "proc") -> CudaProcess:
+        return CudaProcess(seed=seed, catalog=catalog, mode=mode, name=name)
+    return factory
+
+
+# ---------------------------------------------------------------------------
+# Tiny-model engine/artifact fixtures (shared, expensive ones session-scoped)
+# ---------------------------------------------------------------------------
+
+from repro.simgpu.costmodel import CostModel, GpuProperties  # noqa: E402
+
+
+def tiny_cost_model() -> CostModel:
+    """A small simulated GPU so tiny-model KV block counts stay small."""
+    return CostModel(gpu=GpuProperties(name="Tiny-GPU",
+                                       total_memory_bytes=256 * 1024**2))
+
+
+@pytest.fixture
+def tiny_cm() -> CostModel:
+    return tiny_cost_model()
+
+
+@pytest.fixture(scope="session")
+def tiny2l_artifact():
+    """Offline artifact for Tiny-2L, materialized once per test session."""
+    from repro.core.offline import run_offline
+    from repro.simgpu.process import ExecutionMode
+    artifact, report = run_offline("Tiny-2L", seed=1101,
+                                   mode=ExecutionMode.COMPUTE,
+                                   cost_model=tiny_cost_model())
+    return artifact, report
+
+
+@pytest.fixture(scope="session")
+def tiny4l_artifact():
+    from repro.core.offline import run_offline
+    from repro.simgpu.process import ExecutionMode
+    artifact, report = run_offline("Tiny-4L", seed=1102,
+                                   mode=ExecutionMode.COMPUTE,
+                                   cost_model=tiny_cost_model())
+    return artifact, report

@@ -1,0 +1,84 @@
+"""Buffer contents classification (§4.3) and trace bookkeeping tests."""
+
+import pytest
+
+from repro.core.classify import (
+    PERMANENT,
+    PRE_CAPTURE,
+    TEMPORARY,
+    ContentPlan,
+    classify_buffers,
+)
+from repro.core.trace import (
+    AllocTraceEvent,
+    EmptyCacheTraceEvent,
+    FreeTraceEvent,
+    LaunchTraceEvent,
+    Trace,
+)
+
+HEAP = 0x7F00_0000_0000
+
+
+def alloc(seq, index, tag="act"):
+    return AllocTraceEvent(seq=seq, alloc_index=index,
+                           address=HEAP + index * 256, size=256, tag=tag)
+
+
+def free(seq, index):
+    return FreeTraceEvent(seq=seq, alloc_index=index,
+                          address=HEAP + index * 256, pooled=True)
+
+
+class TestClassify:
+    def test_three_way_split(self):
+        trace = Trace(events=[
+            alloc(0, 0, tag="weight"),     # pre-capture
+            alloc(1, 1),                   # capture-stage temp (freed)
+            free(2, 1),
+            alloc(3, 2, tag="magic"),      # capture-stage permanent
+        ])
+        plan = classify_buffers(trace, capture_marker=1, referenced={0, 1, 2})
+        assert plan.classify(0) == PRE_CAPTURE
+        assert plan.classify(1) == TEMPORARY
+        assert plan.classify(2) == PERMANENT
+
+    def test_unreferenced_buffers_not_classified(self):
+        trace = Trace(events=[alloc(0, 0), alloc(1, 1)])
+        plan = classify_buffers(trace, capture_marker=0, referenced={0})
+        with pytest.raises(KeyError):
+            plan.classify(1)
+
+    def test_counts(self):
+        trace = Trace(events=[alloc(i, i) for i in range(5)]
+                      + [free(10, 3)])
+        plan = classify_buffers(trace, capture_marker=2,
+                                referenced={0, 1, 2, 3, 4})
+        assert len(plan.pre_capture) == 2
+        assert len(plan.temporary) == 1
+        assert len(plan.permanent) == 2
+        assert plan.num_referenced == 5
+
+
+class TestTrace:
+    def test_event_filters(self):
+        trace = Trace(events=[
+            alloc(0, 0),
+            free(1, 0),
+            EmptyCacheTraceEvent(seq=2),
+            LaunchTraceEvent(seq=3, kernel_name="k", library="l",
+                             param_sizes=(8,), param_values=(HEAP,),
+                             launch_dims=(), captured=True),
+            LaunchTraceEvent(seq=4, kernel_name="k", library="l",
+                             param_sizes=(8,), param_values=(HEAP,),
+                             launch_dims=(), captured=False),
+        ])
+        assert len(trace.allocations()) == 1
+        assert len(trace.frees()) == 1
+        assert len(trace.launches()) == 2
+        assert len(trace.captured_launches()) == 1
+        assert trace.num_events == 5
+
+    def test_freed_indices_map(self):
+        trace = Trace(events=[alloc(0, 0), free(5, 0)])
+        assert trace.freed_alloc_indices() == {0: 5}

@@ -1,0 +1,45 @@
+"""§8 scope guards: indirect pointers and GPU-type mismatches fail loudly."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.offline import OfflinePhase
+from repro.core.online import medusa_cold_start
+from repro.errors import MaterializationError, RestorationError
+from repro.models import kernels_catalog
+from repro.simgpu.costmodel import CostModel, GpuProperties
+from repro.simgpu.process import ExecutionMode
+
+from tests.conftest import tiny_cost_model
+
+
+class TestIndirectPointerGuard:
+    def test_indirect_pointer_param_rejected_offline(self, monkeypatch):
+        """A kernel taking a pointer-to-pointer-array is out of scope (§8):
+        the offline phase must refuse to materialize, not mis-restore."""
+        original = kernels_catalog._param_specs
+
+        def with_indirect(shape):
+            params = original(shape)
+            if shape.get("op") == "attention":
+                from repro.simgpu.kernels import ParamKind, ParamSpec
+                params = params + (
+                    ParamSpec(ParamKind.POINTER, "indirect_block_table"),)
+            return params
+
+        monkeypatch.setattr(kernels_catalog, "_param_specs", with_indirect)
+        with pytest.raises(MaterializationError, match="indirect"):
+            OfflinePhase("Tiny-2L", seed=71, mode=ExecutionMode.TIMING,
+                         cost_model=tiny_cost_model()).run()
+
+
+class TestGpuTypeGuard:
+    def test_artifact_bound_to_gpu_type(self, tiny2l_artifact):
+        """§3: the offline phase is per <GPU type, model type>."""
+        artifact, _ = tiny2l_artifact
+        other_gpu = CostModel(gpu=GpuProperties(
+            name="H100-SXM5-80GB", total_memory_bytes=80 * 1024**3))
+        with pytest.raises(RestorationError, match="GPU"):
+            medusa_cold_start("Tiny-2L", artifact, seed=72,
+                              cost_model=other_gpu)

@@ -1,0 +1,94 @@
+"""Offline phase tests on the tiny models."""
+
+import pytest
+
+from repro.core.offline import OfflinePhase
+from repro.models.zoo import get_model_config
+
+from tests.conftest import tiny_cost_model
+
+TINY2 = get_model_config("Tiny-2L")
+
+
+class TestOfflineArtifact:
+    def test_graphs_for_all_batch_sizes(self, tiny2l_artifact):
+        artifact, _report = tiny2l_artifact
+        assert set(artifact.graphs) == set(TINY2.capture_batch_sizes)
+        assert artifact.total_nodes == TINY2.total_graph_nodes
+
+    def test_kernel_names_not_addresses(self, tiny2l_artifact):
+        artifact, _report = tiny2l_artifact
+        for graph in artifact.graphs.values():
+            for node in graph.nodes:
+                assert node.kernel_name.startswith("_ZN")
+                assert node.kernel_name in artifact.kernel_libraries
+
+    def test_structure_prefix_covers_weights(self, tiny2l_artifact):
+        artifact, _report = tiny2l_artifact
+        assert len(artifact.structure_prefix) == TINY2.weight_buffer_count()
+        assert all(tag == "weight" for _size, tag in artifact.structure_prefix)
+
+    def test_kv_materialization_present(self, tiny2l_artifact):
+        artifact, _report = tiny2l_artifact
+        assert artifact.kv_bytes > 0
+        assert artifact.kv_num_blocks > 0
+        assert artifact.kv_alloc_index >= 0
+
+    def test_permanent_contents_are_magic_buffers_only(self, tiny2l_artifact):
+        """§4.3: ~9% of kernels need two 4-byte permanent buffers."""
+        artifact, _report = tiny2l_artifact
+        assert len(artifact.permanent_contents) == 2   # one magic GEMM kernel
+        assert 0.05 < artifact.stats["permanent_kernel_fraction"] < 0.15
+
+    def test_most_buffers_skip_contents(self, tiny2l_artifact):
+        """Copy-free restoration: temporaries + pre-capture dominate."""
+        artifact, _report = tiny2l_artifact
+        stats = artifact.stats
+        skipped = stats["pre_capture_buffers"] + stats["temporary_buffers"]
+        assert skipped > 10 * stats["permanent_buffers"]
+
+    def test_no_trigger_plans_needed_for_standard_models(self,
+                                                         tiny2l_artifact):
+        """First-layer kernels cover every hidden module (§5.2)."""
+        artifact, _report = tiny2l_artifact
+        assert artifact.trigger_plans == []
+
+    def test_first_layer_nodes_is_prologue_plus_layer(self, tiny2l_artifact):
+        artifact, _report = tiny2l_artifact
+        template = TINY2.kernel_template()
+        assert artifact.first_layer_nodes == 1 + len(template.layer_kernels)
+
+    def test_interior_pointers_found_for_kv(self, tiny2l_artifact):
+        """Layer >= 1 attention uses interior KV pointers (§4.1)."""
+        artifact, _report = tiny2l_artifact
+        assert artifact.stats["interior_pointers"] >= len(artifact.graphs)
+
+
+class TestOfflineReport:
+    def test_offline_times_positive(self, tiny2l_artifact):
+        _artifact, report = tiny2l_artifact
+        assert report.capture_stage_time > 0
+        assert report.analysis_time > 0
+        assert report.total_time == pytest.approx(
+            report.capture_stage_time + report.analysis_time)
+
+    def test_analysis_scales_with_nodes(self, tiny2l_artifact,
+                                        tiny4l_artifact):
+        _a2, report2 = tiny2l_artifact
+        _a4, report4 = tiny4l_artifact
+        assert report4.analysis_time > report2.analysis_time
+
+
+class TestDeterminism:
+    def test_two_offline_runs_produce_equivalent_artifacts(self):
+        from repro.simgpu.process import ExecutionMode
+        cm = tiny_cost_model()
+        art_a, _ = OfflinePhase("Tiny-2L", seed=21,
+                                mode=ExecutionMode.COMPUTE,
+                                cost_model=cm).run()
+        art_b, _ = OfflinePhase("Tiny-2L", seed=22,
+                                mode=ExecutionMode.COMPUTE,
+                                cost_model=cm).run()
+        # Different seeds -> different raw addresses offline, but the
+        # materialized (address-free) artifacts must be identical.
+        assert art_a.to_json() == art_b.to_json()

@@ -1,0 +1,160 @@
+"""Indirect index pointer analysis tests, including the Figure 6 scenario."""
+
+import pytest
+
+from repro.core.pointer_analysis import (
+    POINTER_PREFIX,
+    AllocationIndex,
+    ParamRestore,
+    analyze_graph_params,
+    is_pointer_like,
+)
+from repro.core.trace import AllocTraceEvent, FreeTraceEvent, LaunchTraceEvent, Trace
+from repro.errors import PointerAnalysisError
+
+HEAP = 0x7F00_0000_0000
+
+
+def alloc(seq, index, address, size=256, tag="act"):
+    return AllocTraceEvent(seq=seq, alloc_index=index, address=address,
+                           size=size, tag=tag)
+
+
+def free(seq, index, address):
+    return FreeTraceEvent(seq=seq, alloc_index=index, address=address,
+                          pooled=True)
+
+
+def launch(seq, values, sizes=None, name="k", captured=True):
+    sizes = sizes or [8] * len(values)
+    return LaunchTraceEvent(seq=seq, kernel_name=name, library="lib",
+                            param_sizes=tuple(sizes),
+                            param_values=tuple(values),
+                            launch_dims=(), captured=captured)
+
+
+class TestPointerLikeness:
+    def test_heap_addresses_are_pointer_like(self):
+        assert is_pointer_like(8, HEAP + 512)
+
+    def test_small_constants_are_not(self):
+        assert not is_pointer_like(8, 4096)
+        assert not is_pointer_like(4, HEAP)   # 4-byte values never pointers
+
+    def test_library_region_values_are_pointer_like(self):
+        assert is_pointer_like(8, POINTER_PREFIX)
+
+
+class TestBackwardMatching:
+    def test_exact_match(self):
+        trace = Trace(events=[alloc(0, 0, HEAP)])
+        index = AllocationIndex(trace)
+        assert index.backward_match(HEAP, before_seq=10) == (0, 0)
+
+    def test_interior_match_preserves_offset(self):
+        trace = Trace(events=[alloc(0, 0, HEAP, size=4096)])
+        index = AllocationIndex(trace)
+        assert index.backward_match(HEAP + 1000, before_seq=10) == (0, 1000)
+
+    def test_no_match_before_allocation(self):
+        trace = Trace(events=[alloc(5, 0, HEAP)])
+        index = AllocationIndex(trace)
+        assert index.backward_match(HEAP, before_seq=3) is None
+
+    def test_figure6_alias_resolved_to_most_recent(self):
+        """Figure 6: address A returned by allocations i and i+1; the kernel
+        launched after the second allocation must bind to i+1."""
+        trace = Trace(events=[
+            alloc(0, 0, HEAP),          # i   -> returns A
+            free(1, 0, HEAP),
+            alloc(2, 1, HEAP),          # i+1 -> returns A again (LIFO)
+            launch(3, [HEAP]),          # some_kernel(A)
+        ])
+        index = AllocationIndex(trace)
+        assert index.backward_match(HEAP, before_seq=3) == (1, 0)
+
+    def test_naive_match_takes_first_ever(self):
+        """The strawman picks allocation i — the Figure 6 false positive."""
+        trace = Trace(events=[
+            alloc(0, 0, HEAP),
+            free(1, 0, HEAP),
+            alloc(2, 1, HEAP),
+            launch(3, [HEAP]),
+        ])
+        index = AllocationIndex(trace)
+        assert index.naive_match(HEAP) == (0, 0)
+
+    def test_kernel_using_buffer_before_free(self):
+        """A temp used by a kernel, then freed, then its address reused:
+        the earlier launch still binds to the earlier allocation."""
+        trace = Trace(events=[
+            alloc(0, 0, HEAP),
+            launch(1, [HEAP]),
+            free(2, 0, HEAP),
+            alloc(3, 1, HEAP),
+            launch(4, [HEAP]),
+        ])
+        index = AllocationIndex(trace)
+        assert index.backward_match(HEAP, before_seq=1) == (0, 0)
+        assert index.backward_match(HEAP, before_seq=4) == (1, 0)
+
+
+class TestAnalyzeGraphParams:
+    def test_constants_and_pointers_split(self):
+        trace = Trace(events=[
+            alloc(0, 0, HEAP),
+            launch(1, [HEAP, 42], sizes=[8, 4]),
+        ])
+        index = AllocationIndex(trace)
+        restores, stats = analyze_graph_params(index, trace.launches())
+        assert restores[0][0] == ParamRestore.pointer(0, 0)
+        assert restores[0][1] == ParamRestore.const(42)
+        assert stats.pointer_params == 1
+        assert stats.const_params == 1
+
+    def test_unmatched_pointer_raises(self):
+        trace = Trace(events=[launch(0, [HEAP + 0x100])])
+        index = AllocationIndex(trace)
+        with pytest.raises(PointerAnalysisError):
+            analyze_graph_params(index, trace.launches())
+
+    def test_positional_vote_demotes_false_positive_constant(self):
+        """An 8-byte constant that collides with a heap address in one
+        instance of a kernel is demoted back to a constant by the positional
+        majority vote (§4: rare false positives are corrected)."""
+        events = [alloc(0, 0, HEAP, size=4096)]
+        seq = 1
+        launches = []
+        # 9 instances where param 1 is an ordinary small constant...
+        for _ in range(9):
+            launches.append(launch(seq, [HEAP, 1234], name="k"))
+            seq += 1
+        # ...and 1 instance where the constant looks like a heap pointer.
+        launches.append(launch(seq, [HEAP, HEAP + 64], name="k"))
+        trace = Trace(events=events + launches)
+        index = AllocationIndex(trace)
+        restores, stats = analyze_graph_params(index, launches)
+        assert stats.demoted_false_positives == 1
+        assert restores[-1][1] == ParamRestore.const(HEAP + 64)
+
+    def test_true_pointers_survive_vote(self):
+        events = [alloc(0, 0, HEAP, size=4096)]
+        launches = [launch(i + 1, [HEAP], name="k") for i in range(10)]
+        trace = Trace(events=events + launches)
+        index = AllocationIndex(trace)
+        restores, stats = analyze_graph_params(index, launches)
+        assert stats.demoted_false_positives == 0
+        assert all(r[0].kind == "ptr" for r in restores)
+
+    def test_naive_mode_uses_first_match(self):
+        trace = Trace(events=[
+            alloc(0, 0, HEAP),
+            free(1, 0, HEAP),
+            alloc(2, 1, HEAP),
+            launch(3, [HEAP]),
+        ])
+        index = AllocationIndex(trace)
+        good, _ = analyze_graph_params(index, trace.launches())
+        bad, _ = analyze_graph_params(index, trace.launches(), naive=True)
+        assert good[0][0].alloc_index == 1
+        assert bad[0][0].alloc_index == 0   # the false positive

@@ -1,0 +1,65 @@
+"""Artifact store tests."""
+
+import pytest
+
+from repro.core.store import ArtifactStore
+from repro.errors import ArtifactError
+
+
+class TestArtifactStore:
+    def test_put_get_roundtrip(self, tmp_path, tiny2l_artifact):
+        artifact, _ = tiny2l_artifact
+        store = ArtifactStore(tmp_path / "store")
+        store.put(artifact)
+        loaded = store.get(artifact.gpu_name, artifact.model_name)
+        assert loaded.model_name == artifact.model_name
+        assert loaded.total_nodes == artifact.total_nodes
+
+    def test_keyed_by_gpu_and_model(self, tmp_path, tiny2l_artifact):
+        artifact, _ = tiny2l_artifact
+        store = ArtifactStore(tmp_path)
+        store.put(artifact)
+        assert store.has(artifact.gpu_name, artifact.model_name)
+        assert not store.has("H100", artifact.model_name)
+        assert not store.has(artifact.gpu_name, "Other-Model")
+
+    def test_get_missing_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ArtifactError):
+            store.get("A100", "Nope")
+
+    def test_list_and_delete(self, tmp_path, tiny2l_artifact,
+                             tiny4l_artifact):
+        a2, _ = tiny2l_artifact
+        a4, _ = tiny4l_artifact
+        store = ArtifactStore(tmp_path)
+        store.put(a2)
+        store.put(a4)
+        assert len(store.list()) == 2
+        store.delete(a2.gpu_name, a2.model_name)
+        assert store.list() == [(a4.gpu_name, a4.model_name)]
+        with pytest.raises(ArtifactError):
+            store.delete(a2.gpu_name, a2.model_name)
+
+    def test_put_overwrites(self, tmp_path, tiny2l_artifact):
+        artifact, _ = tiny2l_artifact
+        store = ArtifactStore(tmp_path)
+        store.put(artifact)
+        store.put(artifact)
+        assert len(store.list()) == 1
+
+    def test_corrupt_index_raises(self, tmp_path):
+        (tmp_path / "index.json").write_text("{broken")
+        with pytest.raises(ArtifactError):
+            ArtifactStore(tmp_path).list()
+
+    def test_restore_from_store(self, tmp_path, tiny2l_artifact):
+        from repro.core.online import medusa_cold_start
+        from tests.conftest import tiny_cost_model
+        artifact, _ = tiny2l_artifact
+        store = ArtifactStore(tmp_path)
+        store.put(artifact)
+        loaded = store.get(artifact.gpu_name, artifact.model_name)
+        _engine, report = medusa_cold_start(
+            "Tiny-2L", loaded, seed=5, cost_model=tiny_cost_model())
+        assert report.loading_time > 0

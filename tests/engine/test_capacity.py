@@ -1,0 +1,43 @@
+"""Device-capacity failure paths: models that do not fit fail loudly."""
+
+import pytest
+
+from repro.engine import LLMEngine, Strategy
+from repro.errors import EngineError, OutOfMemoryError
+from repro.simgpu.costmodel import CostModel, GpuProperties
+
+
+def small_gpu(gib: int) -> CostModel:
+    return CostModel(gpu=GpuProperties(name=f"Small-{gib}G",
+                                       total_memory_bytes=gib * 1024**3))
+
+
+class TestCapacity:
+    def test_weights_larger_than_device_raise_oom(self):
+        engine = LLMEngine("Llama2-13B", Strategy.VLLM, seed=1,
+                           cost_model=small_gpu(16))
+        with pytest.raises(OutOfMemoryError):
+            engine.cold_start()
+
+    def test_no_room_for_kv_cache_raises(self):
+        # Weights fit in 14 GiB (12.6 GiB), but utilization*total - peak
+        # leaves nothing for the KV cache.
+        engine = LLMEngine("Llama2-7B", Strategy.VLLM, seed=2,
+                           cost_model=small_gpu(14))
+        with pytest.raises((EngineError, OutOfMemoryError)):
+            engine.cold_start()
+
+    def test_fits_on_default_a100(self):
+        engine = LLMEngine("Qwen1.5-14B", Strategy.NO_CUDA_GRAPH, seed=3)
+        report = engine.cold_start()       # 26.4 GiB on 40 GiB: fits
+        assert engine.kv_region.num_blocks > 0
+        assert report.loading_time > 0
+
+    def test_tensor_parallel_shards_fit_where_single_gpu_cannot(self):
+        """TP's raison d'être: shard a model the single GPU cannot hold."""
+        from repro.multigpu import TensorParallelEngine
+        tp = TensorParallelEngine("Llama2-13B", tp_degree=2,
+                                  strategy=Strategy.NO_CUDA_GRAPH, seed=4,
+                                  cost_model=small_gpu(16))
+        report = tp.cold_start()
+        assert report.loading_time > 0

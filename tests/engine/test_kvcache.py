@@ -1,0 +1,86 @@
+"""KV cache block manager and region sizing tests."""
+
+import pytest
+
+from repro.errors import InvalidValueError, KVCacheExhaustedError
+from repro.engine.kvcache import BlockManager, KVCacheConfig
+from repro.models.zoo import get_model_config
+
+QWEN = get_model_config("Qwen1.5-4B")
+
+
+class TestKVCacheConfig:
+    def test_block_bytes_formula(self):
+        config = KVCacheConfig(block_size_tokens=16, dtype_bytes=2)
+        expected = 2 * 16 * QWEN.hidden_size * 2 * QWEN.num_layers
+        assert config.block_bytes(QWEN) == expected
+
+    def test_num_blocks_floor_division(self):
+        config = KVCacheConfig()
+        block = config.block_bytes(QWEN)
+        assert config.num_blocks_for(QWEN, 10 * block + 5) == 10
+
+    def test_too_small_region_rejected(self):
+        config = KVCacheConfig()
+        with pytest.raises(InvalidValueError):
+            config.num_blocks_for(QWEN, 16)
+
+
+class TestBlockManager:
+    def test_requires_positive_blocks(self):
+        with pytest.raises(InvalidValueError):
+            BlockManager(0, 16)
+
+    def test_allocate_and_release(self):
+        manager = BlockManager(10, 16)
+        blocks = manager.allocate("seq0", 33)     # ceil(33/16) = 3
+        assert len(blocks) == 3
+        assert manager.free_blocks == 7
+        manager.release("seq0")
+        assert manager.free_blocks == 10
+
+    def test_double_allocate_rejected(self):
+        manager = BlockManager(10, 16)
+        manager.allocate("seq0", 16)
+        with pytest.raises(InvalidValueError):
+            manager.allocate("seq0", 16)
+
+    def test_exhaustion_raises(self):
+        manager = BlockManager(2, 16)
+        with pytest.raises(KVCacheExhaustedError):
+            manager.allocate("seq0", 100)
+        assert manager.free_blocks == 2   # nothing leaked
+
+    def test_extend_grows_table(self):
+        manager = BlockManager(10, 16)
+        manager.allocate("seq0", 16)
+        added = manager.extend("seq0", 40)   # needs 3 total
+        assert len(added) == 2
+        assert len(manager.block_table("seq0")) == 3
+
+    def test_extend_noop_when_covered(self):
+        manager = BlockManager(10, 16)
+        manager.allocate("seq0", 32)
+        assert manager.extend("seq0", 20) == []
+
+    def test_extend_exhaustion(self):
+        manager = BlockManager(2, 16)
+        manager.allocate("seq0", 32)
+        with pytest.raises(KVCacheExhaustedError):
+            manager.extend("seq0", 64)
+
+    def test_release_unknown_sequence(self):
+        manager = BlockManager(4, 16)
+        with pytest.raises(InvalidValueError):
+            manager.release("ghost")
+
+    def test_can_allocate(self):
+        manager = BlockManager(4, 16)
+        assert manager.can_allocate(64)
+        assert not manager.can_allocate(65)
+
+    def test_block_tables_disjoint(self):
+        manager = BlockManager(10, 16)
+        a = manager.allocate("a", 48)
+        b = manager.allocate("b", 48)
+        assert not set(a) & set(b)

@@ -1,0 +1,66 @@
+"""Serving under KV pressure: preemption through the full loop."""
+
+import pytest
+
+from repro.engine import LLMEngine, SamplingParams, ServingLoop, Strategy
+from repro.engine.kvcache import KVCacheConfig
+from repro.simgpu.process import ExecutionMode
+
+from tests.conftest import tiny_cost_model
+
+
+def make_loop(max_blocks, max_batch=4):
+    engine = LLMEngine("Tiny-2L", Strategy.VLLM, seed=71,
+                       mode=ExecutionMode.TIMING,
+                       cost_model=tiny_cost_model(),
+                       kv_config=KVCacheConfig(max_blocks=max_blocks))
+    engine.cold_start()
+    return ServingLoop(engine, max_batch_size=max_batch)
+
+
+class TestKVPressure:
+    def test_tight_kv_still_completes_all_requests(self):
+        """With barely enough blocks, preemption churns but work finishes."""
+        loop = make_loop(max_blocks=6)
+        for _ in range(4):
+            loop.submit([1] * 20, SamplingParams(max_tokens=20))
+        completed = loop.run_until_complete(max_iterations=5000)
+        assert len(completed) == 4
+        assert all(len(c.token_ids) == 20 for c in completed)
+
+    def test_preemption_happens_under_pressure(self):
+        loop = make_loop(max_blocks=4)
+        for _ in range(3):
+            loop.submit([1] * 15, SamplingParams(max_tokens=40))
+        preempted_total = 0
+        iterations = 0
+        while loop.scheduler.has_work:
+            iterations += 1
+            assert iterations < 2000, "scheduler failed to make progress"
+            plan = loop.scheduler.schedule()
+            preempted_total += len(plan.preempted)
+            # finish sequences manually to keep the test at scheduler level
+            for sequence in plan.prefill + plan.decode:
+                sequence.append_token(1, now=0.0)
+                if sequence.finished:
+                    loop.scheduler.finish(sequence)
+        assert preempted_total > 0
+
+    def test_oversized_request_fails_loudly(self):
+        """A request that cannot fit in the whole cache must error, not
+        preempt-retry forever."""
+        from repro.errors import KVCacheExhaustedError
+        loop = make_loop(max_blocks=2)
+        loop.submit([1] * 15, SamplingParams(max_tokens=40))  # needs 4 blocks
+        with pytest.raises(KVCacheExhaustedError):
+            for _ in range(100):
+                plan = loop.scheduler.schedule()
+                for sequence in plan.prefill + plan.decode:
+                    sequence.append_token(1, now=0.0)
+
+    def test_all_blocks_released_at_the_end(self):
+        loop = make_loop(max_blocks=8)
+        for _ in range(5):
+            loop.submit([1, 2, 3], SamplingParams(max_tokens=6))
+        loop.run_until_complete()
+        assert loop.scheduler.block_manager.free_blocks == 8

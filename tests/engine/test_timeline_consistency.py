@@ -1,0 +1,63 @@
+"""Cross-strategy timeline invariants measured on the live engine."""
+
+import pytest
+
+from repro.core.online import medusa_cold_start
+from repro.engine import LLMEngine, Strategy
+
+from tests.conftest import tiny_cost_model
+
+
+@pytest.fixture(scope="module")
+def reports(tiny4l_artifact):
+    artifact, _ = tiny4l_artifact
+    out = {}
+    for strategy in (Strategy.VLLM, Strategy.VLLM_ASYNC,
+                     Strategy.NO_CUDA_GRAPH, Strategy.DEFERRED):
+        engine = LLMEngine("Tiny-4L", strategy, seed=55,
+                           cost_model=tiny_cost_model())
+        out[strategy] = engine.cold_start()
+    _engine, medusa = medusa_cold_start("Tiny-4L", artifact, seed=55,
+                                        cost_model=tiny_cost_model())
+    out[Strategy.MEDUSA] = medusa
+    return out
+
+
+class TestTimelineInvariants:
+    def test_composed_total_never_exceeds_sequential_sum(self, reports):
+        """Overlap can only shrink the makespan (modulo interference)."""
+        for strategy, report in reports.items():
+            sequential = sum(report.stage_durations.values())
+            slack = 0.081 if strategy is Strategy.VLLM_ASYNC else 1e-9
+            assert report.loading_time <= sequential + slack, strategy
+
+    def test_stages_lie_within_the_timeline(self, reports):
+        for report in reports.values():
+            for stage in report.timeline.stages:
+                assert stage.start >= -1e-12
+                assert stage.end <= report.loading_time + 1e-9
+
+    def test_structure_init_always_first(self, reports):
+        for report in reports.values():
+            structure = report.timeline.stage("structure_init")
+            assert structure.start == 0.0
+            for stage in report.timeline.stages:
+                if stage.name != "structure_init":
+                    assert stage.start >= structure.end - 1e-12
+
+    def test_sync_strategies_have_no_overlap(self, reports):
+        for strategy in (Strategy.VLLM, Strategy.NO_CUDA_GRAPH,
+                         Strategy.DEFERRED):
+            stages = sorted(reports[strategy].timeline.stages,
+                            key=lambda s: s.start)
+            for first, second in zip(stages, stages[1:]):
+                assert second.start >= first.end - 1e-12
+
+    def test_strategy_ordering_on_tiny(self, reports):
+        """NO_CUDA_GRAPH < DEFERRED-at-cold-start <= VLLM; async <= vllm."""
+        assert reports[Strategy.NO_CUDA_GRAPH].loading_time <= \
+            reports[Strategy.VLLM].loading_time
+        assert reports[Strategy.DEFERRED].loading_time <= \
+            reports[Strategy.VLLM].loading_time
+        assert reports[Strategy.VLLM_ASYNC].loading_time <= \
+            reports[Strategy.VLLM].loading_time

@@ -1,0 +1,75 @@
+"""Paper-claim checks at paper scale (slower; run the real engine).
+
+Each test pins one quantitative claim from the paper to a tolerance band,
+so a regression in the substrate, engine, or cost model that changes the
+*shape* of a result fails loudly.
+"""
+
+import pytest
+
+from repro.engine import LLMEngine, Strategy
+from repro.models.zoo import paper_model_names
+
+
+@pytest.fixture(scope="module")
+def vanilla_reports():
+    """One vanilla cold start per paper model (shared across this module)."""
+    reports = {}
+    for index, name in enumerate(paper_model_names()):
+        engine = LLMEngine(name, Strategy.VLLM, seed=900 + index)
+        reports[name] = engine.cold_start()
+    return reports
+
+
+class TestFigure2Claims:
+    def test_kv_and_capture_dominate_loading(self, vanilla_reports):
+        """§2.1: the two dynamic stages account for ~47% of loading."""
+        shares = []
+        for report in vanilla_reports.values():
+            dynamic = (report.stage_durations["kv_init"]
+                       + report.stage_durations["capture"])
+            shares.append(dynamic / report.loading_time)
+        average = sum(shares) / len(shares)
+        assert 0.40 < average < 0.55
+
+    def test_majority_of_models_have_async_bubbles(self):
+        """§7.3: '6 out of 10 models have such bubbles' — the weights stage
+        cannot cover the tokenizer + KV-init branch."""
+        bubbled = 0
+        for index, name in enumerate(paper_model_names()):
+            engine = LLMEngine(name, Strategy.VLLM_ASYNC, seed=950 + index)
+            report = engine.cold_start()
+            if report.timeline.bubble() > 1e-9:
+                bubbled += 1
+        assert bubbled >= 5
+
+    def test_loading_dominates_cold_start(self, vanilla_reports):
+        """Figure 1: the loading phase is ~76% of the cold start."""
+        for report in vanilla_reports.values():
+            share = report.loading_time / report.cold_start_time
+            assert 0.55 < share < 0.90
+
+
+class TestTable1Claims:
+    def test_total_graph_nodes_across_models(self, vanilla_reports):
+        """§1: 'a total number of CUDA graph nodes of 139364'."""
+        # Table 1 node counts are validated per model elsewhere; this pins
+        # the paper's headline sum.
+        from repro.models.zoo import PAPER_MODELS
+        assert sum(c.total_graph_nodes for c in PAPER_MODELS) == 139364
+
+
+class TestFigure3Claims:
+    def test_speedup_band_and_argmax(self):
+        speedups = {}
+        for index, name in enumerate(("Llama2-7B", "Llama2-13B",
+                                      "Qwen1.5-4B", "Yi-6B")):
+            engine = LLMEngine(name, Strategy.VLLM, seed=970 + index)
+            engine.cold_start()
+            prefill = engine.prefill(161)
+            graph_step = engine.decode_step(1, use_graphs=True)
+            eager_step = engine.decode_step(1, use_graphs=False)
+            speedups[name] = ((prefill + 337 * eager_step)
+                              / (prefill + 337 * graph_step))
+        assert 2.0 < max(speedups.values()) < 2.6    # paper: up to 2.4x
+        assert max(speedups, key=speedups.get) == "Qwen1.5-4B"

@@ -1,0 +1,93 @@
+"""Model configuration tests: the Table 1 node-count arithmetic."""
+
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.models.config import (
+    CAPTURE_BATCH_SIZES,
+    LAYER_KERNEL_TEMPLATE,
+    MIN_LAYER_KERNELS,
+    ModelConfig,
+)
+from repro.models.zoo import (
+    PAPER_MODELS,
+    TINY_MODELS,
+    get_model_config,
+    paper_model_names,
+)
+
+#: Table 1 of the paper, verbatim.
+TABLE_1 = {
+    "Falcon-7B": 14406,
+    "Llama2-7B": 12518,
+    "Llama2-13B": 16150,
+    "Qwen1.5-0.5B": 9118,
+    "Qwen1.5-1.8B": 9550,
+    "Qwen1.5-4B": 16150,
+    "Qwen1.5-7B": 12902,
+    "Qwen1.5-14B": 16350,
+    "Yi-6B": 12902,
+    "Yi-9B": 19318,
+}
+
+
+class TestCaptureBatchSizes:
+    def test_thirty_five_sizes_like_vllm(self):
+        assert len(CAPTURE_BATCH_SIZES) == 35
+        assert CAPTURE_BATCH_SIZES[:3] == (1, 2, 4)
+        assert CAPTURE_BATCH_SIZES[-1] == 256
+
+
+class TestTable1:
+    @pytest.mark.parametrize("name,expected", sorted(TABLE_1.items()))
+    def test_total_nodes_match_table1_exactly(self, name, expected):
+        config = get_model_config(name)
+        total = sum(config.nodes_for_batch(b)
+                    for b in config.capture_batch_sizes)
+        assert total == expected == config.total_graph_nodes
+
+    @pytest.mark.parametrize("config", PAPER_MODELS,
+                             ids=lambda c: c.name)
+    def test_decomposition_is_well_formed(self, config):
+        template = config.kernel_template()
+        assert MIN_LAYER_KERNELS <= len(template.layer_kernels) <= \
+            len(LAYER_KERNEL_TEMPLATE)
+        assert template.fixed_kernels >= 4
+        # the per-layer template always includes the magic GEMM and attention
+        assert "qkv_proj" in template.layer_kernels
+        assert "paged_attention" in template.layer_kernels
+
+    def test_total_parameter_bytes_table1(self):
+        sizes = {c.name: round(c.param_bytes / 1024**3, 1)
+                 for c in PAPER_MODELS}
+        assert sizes["Falcon-7B"] == 13.4
+        assert sizes["Qwen1.5-14B"] == 26.4
+        assert sizes["Llama2-13B"] == 24.2
+
+
+class TestConfigValidation:
+    def test_unknown_model_raises(self):
+        with pytest.raises(InvalidValueError):
+            get_model_config("GPT-5")
+
+    def test_undecomposable_node_count_rejected(self):
+        with pytest.raises(InvalidValueError):
+            ModelConfig(name="bad", family="tiny", param_bytes=1024,
+                        num_layers=100, hidden_size=8, vocab_size=16,
+                        total_graph_nodes=35 * 10,   # 10 nodes << 100 layers
+                        capture_batch_sizes=(1,) * 35)
+
+    def test_weight_buffer_count_positive(self):
+        for config in PAPER_MODELS + TINY_MODELS:
+            assert config.weight_buffer_count() > config.num_layers
+
+    def test_paper_model_names_lists_ten(self):
+        assert len(paper_model_names()) == 10
+
+    def test_reduce_batches_are_the_largest(self):
+        config = get_model_config("Qwen1.5-4B")
+        template = config.kernel_template()
+        if template.reduce_batches:
+            cutoff = min(template.reduce_batches)
+            smaller = [b for b in config.capture_batch_sizes if b < cutoff]
+            assert all(b not in template.reduce_batches for b in smaller)

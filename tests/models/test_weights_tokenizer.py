@@ -1,0 +1,91 @@
+"""Checkpoint store and tokenizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.models.tokenizer import Tokenizer
+from repro.models.weights import (
+    CheckpointStore,
+    declared_sizes,
+    weight_buffer_keys,
+)
+from repro.models.zoo import get_model_config
+
+TINY = get_model_config("Tiny-2L")
+QWEN = get_model_config("Qwen1.5-4B")
+
+
+class TestWeightKeys:
+    def test_layer_order_is_sequential(self):
+        keys = weight_buffer_keys(TINY)
+        layer_keys = [k for k in keys if k.startswith("layer")]
+        layers = [int(k[5:8]) for k in layer_keys]
+        assert layers == sorted(layers)
+
+    def test_epilogue_weights_present(self):
+        keys = weight_buffer_keys(TINY)
+        assert "embed_tokens.weight" in keys
+        assert "lm_head.weight" in keys
+        assert "final_layernorm.weight" in keys
+
+    def test_count_matches_config(self):
+        assert len(weight_buffer_keys(QWEN)) == QWEN.weight_buffer_count()
+
+    def test_declared_sizes_sum_to_param_bytes(self):
+        sizes = declared_sizes(QWEN)
+        assert sum(sizes.values()) == QWEN.param_bytes
+
+    def test_declared_sizes_positive(self):
+        assert all(size > 0 for size in declared_sizes(TINY).values())
+
+
+class TestCheckpointStore:
+    def test_payloads_deterministic_across_instances(self):
+        key = weight_buffer_keys(TINY)[0]
+        a = CheckpointStore().payload(TINY, key)
+        b = CheckpointStore().payload(TINY, key)
+        np.testing.assert_array_equal(a, b)
+
+    def test_payloads_differ_per_key(self):
+        keys = weight_buffer_keys(TINY)
+        store = CheckpointStore()
+        assert not np.array_equal(store.payload(TINY, keys[0]),
+                                  store.payload(TINY, keys[1]))
+
+    def test_payloads_differ_per_model(self):
+        store = CheckpointStore()
+        key = "embed_tokens.weight"
+        assert not np.array_equal(store.payload(TINY, key),
+                                  store.payload(QWEN, key))
+
+    def test_spectral_norm_bounded(self):
+        store = CheckpointStore()
+        for key, payload in store.iter_payloads(TINY):
+            assert np.linalg.norm(payload, 2) <= 1.0 + 1e-9
+
+
+class TestTokenizer:
+    def test_use_before_load_raises(self):
+        tokenizer = Tokenizer(TINY)
+        with pytest.raises(InvalidValueError):
+            tokenizer.encode("hello world")
+
+    def test_encode_deterministic_and_in_vocab(self):
+        tokenizer = Tokenizer(QWEN)
+        tokenizer.load()
+        ids = tokenizer.encode("the quick brown fox")
+        assert ids == tokenizer.encode("the quick brown fox")
+        assert all(0 <= t < QWEN.vocab_size for t in ids)
+        assert len(ids) == 4
+
+    def test_decode_rejects_out_of_vocab(self):
+        tokenizer = Tokenizer(TINY)
+        tokenizer.load()
+        with pytest.raises(InvalidValueError):
+            tokenizer.decode([TINY.vocab_size])
+
+    def test_decode_produces_token_markers(self):
+        tokenizer = Tokenizer(TINY)
+        tokenizer.load()
+        assert tokenizer.decode([1, 2]) == "<tok1> <tok2>"

@@ -1,0 +1,68 @@
+"""Property test: Medusa restores *any* well-formed model bit-exactly.
+
+The strongest invariant in DESIGN.md §6: for a randomly shaped model
+(layers, per-layer kernel count, epilogue size, batch-size list) and random
+process seeds, the offline→online pipeline yields graphs whose replay
+output equals eager forwarding exactly.  Examples are expensive (a full
+offline phase plus a fresh-process restore each), so the example budget is
+small but the input space is the generator's.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.offline import OfflinePhase
+from repro.core.validation import validate_restoration
+from repro.models.config import ModelConfig
+from repro.simgpu.costmodel import CostModel, GpuProperties
+from repro.simgpu.process import ExecutionMode
+
+
+def _cost_model():
+    return CostModel(gpu=GpuProperties(name="Prop-GPU",
+                                       total_memory_bytes=256 * 1024**2))
+
+
+@st.composite
+def model_configs(draw):
+    num_layers = draw(st.integers(1, 3))
+    kernels_per_layer = draw(st.integers(6, 13))
+    epilogue_aux = draw(st.integers(0, 3))
+    batch_count = draw(st.integers(1, 3))
+    batch_sizes = tuple(sorted(draw(st.sets(
+        st.sampled_from([1, 2, 4, 8, 16]),
+        min_size=batch_count, max_size=batch_count))))
+    remainder = draw(st.integers(0, len(batch_sizes) - 1))
+    base = num_layers * kernels_per_layer + 4 + epilogue_aux
+    seed = draw(st.integers(0, 2**31))
+    return ModelConfig(
+        name=f"Prop-{num_layers}L{kernels_per_layer}K{epilogue_aux}A"
+             f"-{len(batch_sizes)}B{remainder}R",
+        family="prop",
+        param_bytes=draw(st.integers(1, 32)) * 1024**2,
+        num_layers=num_layers,
+        hidden_size=64,
+        vocab_size=128,
+        total_graph_nodes=len(batch_sizes) * base + remainder,
+        capture_batch_sizes=batch_sizes,
+        checkpoint_seed=seed,
+    )
+
+
+class TestRestorationProperty:
+    @settings(max_examples=6, deadline=None)
+    @given(config=model_configs(), offline_seed=st.integers(0, 10**6),
+           online_seed=st.integers(0, 10**6))
+    def test_offline_online_bit_exact(self, config, offline_seed,
+                                      online_seed):
+        cost_model = _cost_model()
+        artifact, _report = OfflinePhase(
+            config, seed=offline_seed, mode=ExecutionMode.COMPUTE,
+            cost_model=cost_model).run()
+        assert artifact.total_nodes == config.total_graph_nodes
+        report = validate_restoration(
+            config, artifact, batches=list(config.capture_batch_sizes),
+            seed=online_seed, cost_model=cost_model)
+        assert report.passed
+        assert report.max_abs_error == 0.0

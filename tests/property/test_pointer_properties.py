@@ -1,0 +1,108 @@
+"""Property-based tests of the pointer analysis (hypothesis).
+
+The central invariant (DESIGN.md §6): for any allocation/free/launch
+program, backward matching binds each launch parameter to the allocation
+that was live at launch time — never to a deallocated alias.
+"""
+
+from typing import List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pointer_analysis import AllocationIndex
+from repro.core.trace import (
+    AllocTraceEvent,
+    FreeTraceEvent,
+    LaunchTraceEvent,
+    Trace,
+)
+
+HEAP = 0x7F00_0000_0000
+SIZE = 256
+
+# Programs over a small pool of address slots: each slot can be allocated,
+# freed, and re-allocated (aliasing), with launches referencing live slots.
+_program = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(0, 5)),
+        st.tuples(st.just("free"), st.integers(0, 5)),
+        st.tuples(st.just("launch"), st.integers(0, 5)),
+    ),
+    min_size=1, max_size=50,
+)
+
+
+def _build_trace(program):
+    """Interpret the program; returns (trace, ground_truth).
+
+    ground_truth: list of (launch_seq, slot, expected_alloc_index).
+    """
+    events = []
+    seq = 0
+    alloc_index = 0
+    live = {}      # slot -> alloc_index currently live there
+    truth = []
+    for op, slot in program:
+        address = HEAP + slot * SIZE
+        if op == "alloc" and slot not in live:
+            events.append(AllocTraceEvent(seq=seq, alloc_index=alloc_index,
+                                          address=address, size=SIZE,
+                                          tag="t"))
+            live[slot] = alloc_index
+            alloc_index += 1
+            seq += 1
+        elif op == "free" and slot in live:
+            events.append(FreeTraceEvent(seq=seq,
+                                         alloc_index=live.pop(slot),
+                                         address=address, pooled=True))
+            seq += 1
+        elif op == "launch" and slot in live:
+            events.append(LaunchTraceEvent(
+                seq=seq, kernel_name="k", library="l",
+                param_sizes=(8,), param_values=(address,),
+                launch_dims=(), captured=True))
+            truth.append((seq, slot, live[slot]))
+            seq += 1
+    return Trace(events=events), truth
+
+
+class TestBackwardMatchingProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(program=_program)
+    def test_matches_the_live_allocation(self, program):
+        trace, truth = _build_trace(program)
+        if not truth:
+            return   # program produced no launches; vacuously true
+        index = AllocationIndex(trace)
+        for launch_seq, slot, expected in truth:
+            address = HEAP + slot * SIZE
+            match = index.backward_match(address, before_seq=launch_seq)
+            assert match is not None
+            assert match == (expected, 0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(program=_program, offset=st.integers(1, SIZE - 1))
+    def test_interior_pointers_match_with_offset(self, program, offset):
+        trace, truth = _build_trace(program)
+        if not truth:
+            return
+        index = AllocationIndex(trace)
+        launch_seq, slot, expected = truth[-1]
+        address = HEAP + slot * SIZE + offset
+        match = index.backward_match(address, before_seq=launch_seq)
+        assert match == (expected, offset)
+
+    @settings(max_examples=100, deadline=None)
+    @given(program=_program)
+    def test_naive_never_binds_to_later_allocation(self, program):
+        """Naive matching errs towards *earlier* allocations, never later
+        ones — the direction Figure 6's false positive takes."""
+        trace, truth = _build_trace(program)
+        if not truth:
+            return
+        index = AllocationIndex(trace)
+        for launch_seq, slot, expected in truth:
+            address = HEAP + slot * SIZE
+            naive = index.naive_match(address)
+            assert naive is not None
+            assert naive[0] <= expected

@@ -1,0 +1,41 @@
+"""ASCII bar rendering tests."""
+
+from repro.reporting import horizontal_bars, stacked_bars
+
+
+class TestHorizontalBars:
+    def test_scales_to_peak(self):
+        text = horizontal_bars("T", [("a", 1.0), ("b", 2.0)], width=10)
+        lines = text.splitlines()
+        bar_a = lines[2].count("█")
+        bar_b = lines[3].count("█")
+        assert bar_b == 10
+        assert bar_a == 5
+
+    def test_zero_value_renders_empty_bar(self):
+        text = horizontal_bars("T", [("a", 0.0), ("b", 1.0)])
+        assert "a" in text
+
+    def test_empty_entries(self):
+        assert "(empty)" in horizontal_bars("T", [])
+
+    def test_values_printed(self):
+        text = horizontal_bars("T", [("x", 3.25)])
+        assert "3.25s" in text
+
+
+class TestStackedBars:
+    def test_legend_lists_all_segments(self):
+        text = stacked_bars("T", ["m1"], {"s1": [1.0], "s2": [2.0]})
+        assert "s1" in text and "s2" in text
+        assert "legend" in text
+
+    def test_totals_printed(self):
+        text = stacked_bars("T", ["m1"], {"s1": [1.0], "s2": [2.0]})
+        assert "3s" in text
+
+    def test_segment_proportions(self):
+        text = stacked_bars("T", ["m"], {"a": [3.0], "b": [1.0]}, width=40)
+        row = text.splitlines()[-1]
+        assert row.count("█") == 30
+        assert row.count("▓") == 10

@@ -1,0 +1,49 @@
+"""Multi-model pool contention: the eviction/exhaustion paths."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.serverless.cluster import (
+    ModelDeployment,
+    MultiModelCluster,
+    TaggedRequest,
+)
+from repro.serverless.costs import ServingCostModel
+from repro.serverless.workload import Request
+
+
+def deployment(name, cold=0.5, **kwargs):
+    return ModelDeployment(name=name, costs=ServingCostModel("Llama2-7B"),
+                           cold_start_latency=cold, **kwargs)
+
+
+def request(rid, arrival, model):
+    return TaggedRequest(model, Request(request_id=rid, arrival_time=arrival,
+                                        prompt_tokens=16, output_tokens=2))
+
+
+class TestPoolContention:
+    def test_idle_instance_of_other_model_evicted(self):
+        """When the pool is full of idle foreign instances, the router
+        evicts one to host the starved model."""
+        cluster = MultiModelCluster([deployment("a"), deployment("b")],
+                                    num_gpus=1, keep_alive=10_000.0)
+        # Model a's burst finishes early; b arrives much later while a's
+        # instance idles on the only GPU.
+        requests = [request(0, 0.0, "a"), request(1, 60.0, "b")]
+        metrics = cluster.run(requests, horizon=120.0)
+        assert metrics["a"].completed == 1
+        assert metrics["b"].completed == 1
+        evicted = [inst for inst in cluster.instances["a"] if inst.retired]
+        assert evicted
+
+    def test_exhausted_pool_with_busy_foreigners_raises(self):
+        """If every GPU is busy with other models and the starved model has
+        no instance, the router reports the capacity wall loudly."""
+        cluster = MultiModelCluster(
+            [deployment("a", hot_spares=1), deployment("b")],
+            num_gpus=1, keep_alive=10_000.0)
+        # b has no instance; a's hot spare owns the only GPU and hot spares
+        # are never evicted.
+        with pytest.raises(SchedulingError):
+            cluster.run([request(0, 1.0, "b")], horizon=10.0)

@@ -1,0 +1,59 @@
+"""SimulationMetrics unit tests."""
+
+import pytest
+
+from repro.serverless.metrics import SimulationMetrics
+
+
+class TestMetrics:
+    def test_empty_metrics_are_zero(self):
+        metrics = SimulationMetrics(horizon=10.0)
+        assert metrics.p99_ttft == 0.0
+        assert metrics.throughput == 0.0
+        assert metrics.gpu_utilization == 0.0
+        assert metrics.wasted_gpu_seconds == 0.0
+
+    def test_ttft_percentiles(self):
+        metrics = SimulationMetrics(horizon=1.0)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            metrics.record_ttft(value)
+        assert metrics.p50_ttft == 2.5
+        assert metrics.mean_ttft == 2.5
+        assert metrics.p99_ttft > metrics.p50_ttft
+
+    def test_throughput_counts_in_horizon_only(self):
+        metrics = SimulationMetrics(horizon=10.0)
+        metrics.record_completion(1.0, in_horizon=True)
+        metrics.record_completion(1.0, in_horizon=False)
+        assert metrics.completed == 1
+        assert metrics.throughput == pytest.approx(0.1)
+        assert len(metrics.latencies) == 2
+
+    def test_zero_horizon_throughput(self):
+        metrics = SimulationMetrics(horizon=0.0)
+        metrics.record_completion(1.0)
+        assert metrics.throughput == 0.0
+
+    def test_gpu_accounting(self):
+        metrics = SimulationMetrics(horizon=100.0)
+        metrics.provisioned_gpu_seconds = 200.0
+        metrics.busy_gpu_seconds = 150.0
+        assert metrics.gpu_utilization == pytest.approx(0.75)
+        assert metrics.wasted_gpu_seconds == pytest.approx(50.0)
+
+    def test_utilization_capped_at_one(self):
+        metrics = SimulationMetrics(horizon=1.0)
+        metrics.provisioned_gpu_seconds = 1.0
+        metrics.busy_gpu_seconds = 2.0    # drain past horizon can exceed
+        assert metrics.gpu_utilization == 1.0
+
+    def test_summary_is_flat_and_complete(self):
+        metrics = SimulationMetrics(horizon=10.0)
+        metrics.arrived = 3
+        metrics.record_ttft(0.5)
+        metrics.record_completion(1.0)
+        summary = metrics.summary()
+        assert summary["arrived"] == 3.0
+        assert summary["completed"] == 1.0
+        assert "ttft_p99" in summary
+        assert all(isinstance(v, float) for v in summary.values())

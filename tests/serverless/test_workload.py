@@ -1,0 +1,62 @@
+"""Workload generator tests."""
+
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.serverless.workload import (
+    SHAREGPT_MEAN_OUTPUT_TOKENS,
+    SHAREGPT_MEAN_PROMPT_TOKENS,
+    ShareGPTWorkload,
+)
+
+
+class TestArrivals:
+    def test_deterministic_given_seed(self):
+        a = ShareGPTWorkload(rps=5, duration=100, seed=1).generate()
+        b = ShareGPTWorkload(rps=5, duration=100, seed=1).generate()
+        assert [(r.arrival_time, r.prompt_tokens) for r in a] == \
+            [(r.arrival_time, r.prompt_tokens) for r in b]
+
+    def test_different_seed_differs(self):
+        a = ShareGPTWorkload(rps=5, duration=100, seed=1).generate()
+        b = ShareGPTWorkload(rps=5, duration=100, seed=2).generate()
+        assert [r.arrival_time for r in a] != [r.arrival_time for r in b]
+
+    def test_rate_approximates_rps(self):
+        requests = ShareGPTWorkload(rps=10, duration=500, seed=3).generate()
+        assert len(requests) == pytest.approx(5000, rel=0.1)
+
+    def test_arrivals_sorted_and_within_duration(self):
+        requests = ShareGPTWorkload(rps=5, duration=50, seed=4).generate()
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+        assert all(0 < t < 50 for t in times)
+
+    def test_request_ids_sequential(self):
+        requests = ShareGPTWorkload(rps=5, duration=20, seed=5).generate()
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+
+
+class TestLengths:
+    def test_means_match_sharegpt(self):
+        """§2.2: ShareGPT averages 161 prompt / 338 output tokens."""
+        requests = ShareGPTWorkload(rps=20, duration=2000, seed=6).generate()
+        mean_prompt = sum(r.prompt_tokens for r in requests) / len(requests)
+        mean_output = sum(r.output_tokens for r in requests) / len(requests)
+        assert mean_prompt == pytest.approx(SHAREGPT_MEAN_PROMPT_TOKENS,
+                                            rel=0.1)
+        assert mean_output == pytest.approx(SHAREGPT_MEAN_OUTPUT_TOKENS,
+                                            rel=0.1)
+
+    def test_lengths_positive(self):
+        requests = ShareGPTWorkload(rps=5, duration=100, seed=7).generate()
+        assert all(r.prompt_tokens >= 1 and r.output_tokens >= 1
+                   for r in requests)
+
+
+class TestValidation:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(InvalidValueError):
+            ShareGPTWorkload(rps=0, duration=10)
+        with pytest.raises(InvalidValueError):
+            ShareGPTWorkload(rps=1, duration=0)

@@ -1,0 +1,74 @@
+"""Helpers to drive the small test catalog's kernels."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.simgpu.kernels import (
+    KernelParam,
+    KernelSpec,
+    ParamKind,
+    magic_values,
+)
+
+D = 4
+
+
+def rand_payload(seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(D, D))
+
+
+def params_for(spec: KernelSpec, role_addresses: dict,
+               consts: dict = None) -> List[KernelParam]:
+    """Build the flat parameter array for ``spec`` from role→address maps.
+
+    Magic pointer roles default to 0 (the launch path patches them in);
+    magic expectation constants default to the kernel's true magic values.
+    """
+    consts = dict(consts or {})
+    want_a, want_b = magic_values(spec.name)
+    consts.setdefault("magic_a_expected", want_a)
+    consts.setdefault("magic_b_expected", want_b)
+    consts.setdefault("seed", 42)
+    consts.setdefault("n", D)
+    consts.setdefault("rot_steps", 1)
+    params = []
+    for slot in spec.params:
+        if slot.kind is ParamKind.POINTER:
+            params.append(KernelParam(slot.size,
+                                      role_addresses.get(slot.role, 0)))
+        else:
+            params.append(KernelParam(slot.size, int(consts[slot.role])))
+    return params
+
+
+def launch_norm(process, input_buf, weight_buf, output_buf):
+    spec = process.catalog.kernel("_Z9layernormPfS_S_i")
+    process.launch(spec, params_for(spec, {
+        "input": input_buf.address,
+        "weight": weight_buf.address,
+        "output": output_buf.address,
+    }))
+    return spec
+
+
+def launch_gemm_magic(process, input_buf, weight_buf, output_buf):
+    spec = process.catalog.kernel("_ZN7cublas_sim4gemmEv")
+    process.launch(spec, params_for(spec, {
+        "input": input_buf.address,
+        "weight": weight_buf.address,
+        "output": output_buf.address,
+    }))
+    return spec
+
+
+def launch_add(process, a_buf, b_buf, output_buf):
+    spec = process.catalog.kernel("_Z12residual_addPfS_S_")
+    process.launch(spec, params_for(spec, {
+        "input": a_buf.address,
+        "input_b": b_buf.address,
+        "output": output_buf.address,
+    }))
+    return spec

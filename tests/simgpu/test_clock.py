@@ -1,0 +1,56 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.simgpu.clock import SimClock
+
+
+class TestAdvance:
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_advance_rejects_negative(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to_never_moves_backwards(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.advance_to(3.0)
+        assert clock.now == 5.0
+        clock.advance_to(7.0)
+        assert clock.now == 7.0
+
+
+class TestSpans:
+    def test_span_records_duration(self):
+        clock = SimClock()
+        with clock.span("stage"):
+            clock.advance(2.0)
+        span = clock.last("stage")
+        assert span is not None
+        assert span.duration == pytest.approx(2.0)
+
+    def test_total_sums_repeated_spans(self):
+        clock = SimClock()
+        for _ in range(3):
+            with clock.span("step"):
+                clock.advance(1.0)
+        assert clock.total("step") == pytest.approx(3.0)
+        assert len(clock.spans_named("step")) == 3
+
+    def test_last_returns_none_for_unknown_label(self):
+        assert SimClock().last("nope") is None
+
+    def test_nested_spans(self):
+        clock = SimClock()
+        with clock.span("outer"):
+            clock.advance(1.0)
+            with clock.span("inner"):
+                clock.advance(2.0)
+        assert clock.last("inner").duration == pytest.approx(2.0)
+        assert clock.last("outer").duration == pytest.approx(3.0)

@@ -1,0 +1,90 @@
+"""Tests for ASLR, module loading, and symbol resolution (paper §5 hazards)."""
+
+import pytest
+
+from repro.errors import ModuleNotLoadedError, SymbolNotFoundError
+from repro.simgpu.process import CudaProcess, ExecutionMode
+
+VISIBLE = "_Z9layernormPfS_S_i"
+HIDDEN = "_ZN7cublas_sim4gemmEv"
+
+
+class TestAslr:
+    def test_kernel_addresses_differ_across_processes(self, process_factory):
+        p1 = process_factory(seed=1)
+        p2 = process_factory(seed=2)
+        p1.driver.dlopen("libtorch_sim")
+        p2.driver.dlopen("libtorch_sim")
+        assert (p1.driver.kernel_address(VISIBLE)
+                != p2.driver.kernel_address(VISIBLE))
+
+    def test_same_seed_gives_same_layout(self, process_factory):
+        p1 = process_factory(seed=7, name="same")
+        p2 = process_factory(seed=7, name="same")
+        p1.driver.dlopen("libtorch_sim")
+        p2.driver.dlopen("libtorch_sim")
+        assert (p1.driver.kernel_address(VISIBLE)
+                == p2.driver.kernel_address(VISIBLE))
+
+    def test_heap_bases_differ_across_processes(self, process_factory):
+        p1 = process_factory(seed=1)
+        p2 = process_factory(seed=2)
+        assert p1.allocator.base != p2.allocator.base
+
+    def test_kernels_within_one_library_have_distinct_addresses(self, process):
+        library = process.driver.dlopen("libtorch_sim")
+        addresses = [process.driver.kernel_address(s.name)
+                     for s in library.iter_kernels()]
+        assert len(set(addresses)) == len(addresses)
+
+
+class TestSymbolResolution:
+    def test_dlsym_resolves_visible_kernel(self, process):
+        symbol = process.driver.dlsym("libtorch_sim", VISIBLE)
+        assert symbol.kernel_name == VISIBLE
+
+    def test_dlsym_hidden_kernel_raises(self, process):
+        """cuBLAS-style kernels are absent from the export table (§5)."""
+        with pytest.raises(SymbolNotFoundError):
+            process.driver.dlsym("libcublas_sim", HIDDEN)
+
+    def test_get_func_by_symbol_loads_module(self, process):
+        symbol = process.driver.dlsym("libtorch_sim", VISIBLE)
+        address = process.driver.cuda_get_func_by_symbol(symbol)
+        assert process.driver.module_loaded("libtorch_sim", "mod_norm")
+        spec = process.driver.resolve_executable(address)
+        assert spec.name == VISIBLE
+
+    def test_unknown_library_raises(self, process):
+        with pytest.raises(SymbolNotFoundError):
+            process.driver.dlsym("libdoesnotexist", VISIBLE)
+
+
+class TestModuleEnumeration:
+    def test_enumerate_unloaded_module_raises(self, process):
+        process.driver.dlopen("libcublas_sim")
+        with pytest.raises(ModuleNotLoadedError):
+            process.driver.cu_module_enumerate_functions(
+                "libcublas_sim", "mod_gemm")
+
+    def test_enumerate_after_trigger_exposes_hidden_kernels(self, process):
+        """The triggering-kernels mechanism: loading any kernel of the module
+        makes the hidden ones enumerable (§5)."""
+        spec = process.catalog.kernel(HIDDEN)
+        process.driver.load_module_for(spec)
+        addresses = process.driver.cu_module_enumerate_functions(
+            "libcublas_sim", "mod_gemm")
+        names = {process.driver.cu_func_get_name(a) for a in addresses}
+        assert HIDDEN in names
+        assert "_ZN7cublas_sim10gemm_plainEv" in names
+
+    def test_resolve_executable_requires_loaded_module(self, process):
+        process.driver.dlopen("libtorch_sim")
+        address = process.driver.kernel_address(VISIBLE)
+        with pytest.raises(ModuleNotLoadedError):
+            process.driver.resolve_executable(address)
+
+    def test_cu_func_get_name_unknown_address(self, process):
+        from repro.errors import InvalidValueError
+        with pytest.raises(InvalidValueError):
+            process.driver.cu_func_get_name(0x1234)

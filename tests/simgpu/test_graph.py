@@ -1,0 +1,76 @@
+"""Graph structure tests: edges, topological order, node mutation."""
+
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.simgpu.graph import CudaGraph, CudaGraphNode, GraphExecMeta
+from repro.simgpu.kernels import KernelParam
+
+
+def node(addr=0x1000):
+    return CudaGraphNode(kernel_address=addr,
+                         params=[KernelParam(8, 0xDEAD), KernelParam(4, 7)])
+
+
+class TestGraphStructure:
+    def test_add_node_returns_index(self):
+        graph = CudaGraph()
+        assert graph.add_node(node()) == 0
+        assert graph.add_node(node()) == 1
+        assert graph.num_nodes == 2
+
+    def test_add_edge_validates_range(self):
+        graph = CudaGraph()
+        graph.add_node(node())
+        with pytest.raises(InvalidValueError):
+            graph.add_edge(0, 5)
+
+    def test_self_edge_rejected(self):
+        graph = CudaGraph()
+        graph.add_node(node())
+        with pytest.raises(InvalidValueError):
+            graph.add_edge(0, 0)
+
+    def test_topological_order_respects_edges(self):
+        graph = CudaGraph()
+        for _ in range(4):
+            graph.add_node(node())
+        graph.add_edge(2, 0)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 3)
+        order = graph.topological_order()
+        assert order.index(2) < order.index(0) < order.index(1) < order.index(3)
+
+    def test_cycle_detection(self):
+        graph = CudaGraph()
+        graph.add_node(node())
+        graph.add_node(node())
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        with pytest.raises(InvalidValueError):
+            graph.topological_order()
+
+    def test_deterministic_tie_breaking(self):
+        graph = CudaGraph()
+        for _ in range(5):
+            graph.add_node(node())
+        # No edges: order must be node-index order.
+        assert graph.topological_order() == [0, 1, 2, 3, 4]
+
+
+class TestNodeMutation:
+    def test_set_param_preserves_size(self):
+        n = node()
+        n.set_param(0, 0xBEEF)
+        assert n.params[0].value == 0xBEEF
+        assert n.params[0].size == 8
+
+    def test_param_sizes(self):
+        assert node().param_sizes() == (8, 4)
+
+
+class TestExecMeta:
+    def test_defaults(self):
+        meta = GraphExecMeta()
+        assert meta.param_bytes == 0
+        assert meta.num_tokens == 1

@@ -1,0 +1,60 @@
+"""Kernel profiler tests."""
+
+import pytest
+
+from repro.engine import LLMEngine, Strategy
+from repro.models.zoo import get_model_config
+from repro.simgpu.process import ExecutionMode
+from repro.simgpu.profiler import KernelProfiler, profile
+
+from tests.conftest import tiny_cost_model
+
+TINY = get_model_config("Tiny-2L")
+
+
+class TestKernelProfiler:
+    def make_profiled_engine(self, keep_samples=False):
+        engine = LLMEngine("Tiny-2L", Strategy.VLLM, seed=44,
+                           mode=ExecutionMode.TIMING,
+                           cost_model=tiny_cost_model())
+        profiler = profile(engine.process, keep_samples=keep_samples)
+        engine.cold_start()
+        return engine, profiler
+
+    def test_counts_warmups_and_captures(self):
+        _engine, profiler = self.make_profiled_engine()
+        captured_expected = TINY.total_graph_nodes
+        assert profiler.captured_launches == captured_expected
+        # warm-ups (one per batch size) plus the profiling forwarding
+        assert profiler.eager_launches > captured_expected
+
+    def test_per_library_breakdown(self):
+        _engine, profiler = self.make_profiled_engine()
+        assert set(profiler.per_library) == {
+            "libtorch_sim", "libvllm_sim", "libcublas_sim"}
+
+    def test_top_kernels_sorted(self):
+        _engine, profiler = self.make_profiled_engine()
+        top = profiler.top_kernels(3)
+        counts = [count for _name, count in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_samples_kept_on_request(self):
+        _engine, profiler = self.make_profiled_engine(keep_samples=True)
+        assert len(profiler.samples) == profiler.total_launches
+        assert all(s.time >= 0 for s in profiler.samples)
+
+    def test_profiler_adds_no_simulated_overhead(self):
+        baseline = LLMEngine("Tiny-2L", Strategy.VLLM, seed=44,
+                             mode=ExecutionMode.TIMING,
+                             cost_model=tiny_cost_model())
+        baseline.cold_start()
+        profiled, _profiler = self.make_profiled_engine()
+        assert profiled.process.clock.now == \
+            pytest.approx(baseline.process.clock.now)
+
+    def test_summary_keys(self):
+        _engine, profiler = self.make_profiled_engine()
+        summary = profiler.summary()
+        assert summary["total_launches"] == float(profiler.total_launches)
+        assert summary["distinct_kernels"] > 0

@@ -1,0 +1,76 @@
+"""CLI tests (driving tiny models through the public command surface)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_models_command(self):
+        args = build_parser().parse_args(["models"])
+        assert args.command == "models"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["coldstart", "--model", "X", "--strategy", "warp-drive"])
+
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_models_lists_ten(self, capsys):
+        assert main(["models"]) == 0
+        output = capsys.readouterr().out
+        assert "Qwen1.5-4B" in output
+        assert "16150" in output   # Table 1 node count
+
+    def test_coldstart_tiny(self, capsys):
+        assert main(["coldstart", "--model", "Tiny-2L",
+                     "--strategy", "vllm"]) == 0
+        output = capsys.readouterr().out
+        assert "capture" in output
+        assert "loading phase" in output
+
+    def test_coldstart_medusa_requires_artifact(self, capsys):
+        assert main(["coldstart", "--model", "Tiny-2L",
+                     "--strategy", "medusa"]) == 2
+        assert "requires --artifact" in capsys.readouterr().err
+
+    def test_offline_restore_roundtrip(self, tmp_path, capsys):
+        artifact_path = str(tmp_path / "tiny.medusa.json")
+        assert main(["offline", "--model", "Tiny-2L",
+                     "--output", artifact_path]) == 0
+        assert "materialized" in capsys.readouterr().out
+        assert main(["restore", "--model", "Tiny-2L",
+                     "--artifact", artifact_path]) == 0
+        output = capsys.readouterr().out
+        assert "medusa_restore" in output
+
+    def test_restore_with_validation(self, tmp_path, capsys):
+        artifact_path = str(tmp_path / "tiny.medusa.json")
+        main(["offline", "--model", "Tiny-2L", "--output", artifact_path])
+        capsys.readouterr()
+        assert main(["restore", "--model", "Tiny-2L",
+                     "--artifact", artifact_path, "--validate"]) == 0
+        assert "validation: PASSED" in capsys.readouterr().out
+
+    def test_simulate_tiny_run(self, capsys):
+        assert main(["simulate", "--model", "Llama2-7B", "--rps", "1",
+                     "--duration", "20", "--gpus", "1",
+                     "--strategy", "no-cuda-graph"]) == 0
+        output = capsys.readouterr().out
+        assert "ttft_p99" in output
+
+
+class TestSimulateStrategies:
+    def test_simulate_deferred_strategy(self, capsys):
+        from repro.cli import main
+        assert main(["simulate", "--model", "Qwen1.5-0.5B", "--rps", "1",
+                     "--duration", "15", "--gpus", "1",
+                     "--strategy", "deferred"]) == 0
+        output = capsys.readouterr().out
+        assert "Deferred capture" in output
+        assert "cold_starts" in output

@@ -1,0 +1,51 @@
+"""Smoke tests: the shipped examples must actually run.
+
+The two slowest examples (serverless_burst, tensor_parallel) are exercised
+indirectly by the serverless/multigpu suites; the rest run here end to end
+as subprocesses, the way a user would invoke them.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=420, cwd=REPO)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_materialize_and_restore(self):
+        output = run_example("materialize_and_restore.py")
+        assert "indirect index pointer" in output
+        assert "max abs error: 0.0" in output
+
+    def test_custom_model(self):
+        output = run_example("custom_model.py")
+        assert "Loading-phase reduction vs vLLM" in output
+
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "Loading-phase reduction" in output
+        assert "16150 CUDA graph nodes" in output
+
+    def test_profile_coldstart(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        output = run_example("profile_coldstart.py", str(trace_path))
+        assert trace_path.exists()
+        assert "Medusa" in output
+
+    def test_all_examples_have_main_guards(self):
+        for path in EXAMPLES.glob("*.py"):
+            text = path.read_text()
+            assert '__name__ == "__main__"' in text, path.name
+            assert text.startswith("#!/usr/bin/env python"), path.name

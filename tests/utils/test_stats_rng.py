@@ -1,0 +1,65 @@
+"""Utility tests: percentile math and deterministic RNG streams."""
+
+import pytest
+
+from repro.utils.rng import SeedSequence, derive_seed
+from repro.utils.stats import mean, percentile, summarize
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single_value(self):
+        assert percentile([5.0], 50) == 5.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+
+    def test_unsorted_input_ok(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_mean(self):
+        assert mean([]) == 0.0
+        assert mean([1.0, 3.0]) == 2.0
+
+    def test_summarize_keys(self):
+        report = summarize([1.0, 2.0])
+        assert set(report) == {"count", "mean", "p50", "p90", "p99", "max"}
+        assert report["count"] == 2.0
+        assert report["max"] == 2.0
+
+
+class TestSeedSequence:
+    def test_derivation_is_stable(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_paths_are_independent(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_child_streams(self):
+        seeds = SeedSequence(7)
+        child = seeds.child("x")
+        assert child.root_seed == derive_seed(7, "x")
+
+    def test_generators_reproducible(self):
+        a = SeedSequence(3).generator("g").normal(size=4)
+        b = SeedSequence(3).generator("g").normal(size=4)
+        assert list(a) == list(b)
+
+    def test_path_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_no_collision_between_joined_names(self):
+        # ("ab", "c") must not collide with ("a", "bc")
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")

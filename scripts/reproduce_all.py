@@ -14,6 +14,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import subprocess
 import sys
@@ -31,7 +32,27 @@ HEADLINE_BENCHES = [
 
 def run(args: list) -> int:
     print(f"\n$ {' '.join(args)}", flush=True)
-    return subprocess.call(args, cwd=REPO)
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return subprocess.call(args, cwd=REPO, env=env)
+
+
+def lint_materialized_artifact() -> int:
+    """Materialize one model and statically verify the artifact.
+
+    The same gate CI applies: `repro lint` exits 1 on any diagnostic and
+    2 on an unreadable artifact, so a non-zero return fails the run.
+    """
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = str(pathlib.Path(tmp) / "qwen05b.medusa.json")
+        code = run([sys.executable, "-m", "repro", "offline",
+                    "--model", "Qwen1.5-0.5B", "--output", artifact])
+        if code:
+            return code
+        return run([sys.executable, "-m", "repro", "lint", artifact])
 
 
 def main() -> int:
@@ -45,6 +66,12 @@ def main() -> int:
         if code:
             print("test suite failed; aborting", file=sys.stderr)
             return code
+
+    code = lint_materialized_artifact()
+    if code:
+        print("artifact static verification failed; aborting",
+              file=sys.stderr)
+        return code
 
     targets = HEADLINE_BENCHES if options.quick else ["benchmarks/"]
     code = run([sys.executable, "-m", "pytest", *targets,

@@ -1,0 +1,42 @@
+"""Static artifact verification: multi-pass analysis with no execution.
+
+``repro.analysis`` proves a :class:`~repro.core.artifact.MaterializedModel`
+internally consistent *before* the latency-critical online restore touches
+it — replay-sequence liveness, pointer bounds and use-after-free, graph
+topology, kernel resolvability, and dump coverage.  See
+``docs/MECHANISM.md`` ("Static verification") for the MED0xx code table.
+"""
+
+from repro.analysis.analyzer import lint_artifact, lint_file, lint_json_text
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    ERROR,
+    LintReport,
+    WARNING,
+)
+from repro.analysis.liveness import (
+    AllocationRecord,
+    LivenessResult,
+    MAPPED,
+    SUPERSEDED,
+    UNMAPPED,
+    analyze_replay,
+)
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "ERROR",
+    "WARNING",
+    "LintReport",
+    "AllocationRecord",
+    "LivenessResult",
+    "MAPPED",
+    "SUPERSEDED",
+    "UNMAPPED",
+    "analyze_replay",
+    "lint_artifact",
+    "lint_file",
+    "lint_json_text",
+]

@@ -1,0 +1,132 @@
+"""The multi-pass static artifact verifier (``repro lint``).
+
+Runs every analysis pass over a :class:`MaterializedModel` **without
+executing any forwarding** — no simulated process, no kernels, no replay
+on device memory.  The passes, in order:
+
+1. ``liveness``  — symbolic replay of the (de)allocation events (§4.2);
+2. ``pointers``  — indirect-index-pointer bounds and use-after-free (§4.1);
+3. ``topology``  — dependency-edge sanity, DAG-ness, first-layer
+   consistency (§5, §5.2);
+4. ``kernels``   — name resolvability and trigger coverage against the
+   model's kernel catalog (§5.1) — skipped with MED034 when the model is
+   not in the zoo and no catalog is supplied;
+5. ``coverage``  — format version, permanent-dump coverage, cross-batch
+   layout consistency (§3, §4.3).
+
+Entry points: :func:`lint_artifact` for in-memory artifacts (what the
+offline phase and the store call), :func:`lint_json_text` /
+:func:`lint_file` for serialized ones (what the CLI calls) — these report
+a version mismatch as a MED040 diagnostic instead of refusing to load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.analysis.coverage import check_coverage
+from repro.analysis.diagnostics import Diagnostic, LintReport
+from repro.analysis.graphs import check_topology
+from repro.analysis.kernels import check_kernels
+from repro.analysis.liveness import analyze_replay
+from repro.analysis.pointers import check_pointers
+from repro.core.artifact import ARTIFACT_FORMAT_VERSION, MaterializedModel
+from repro.errors import ArtifactError, InvalidValueError
+
+
+def lint_artifact(artifact: MaterializedModel,
+                  catalog=None) -> LintReport:
+    """Statically verify one artifact; returns the full report.
+
+    ``catalog`` is the model's :class:`LibraryCatalog`; when omitted it is
+    built from the model zoo by name.  Artifacts for models outside the
+    zoo get every catalog-independent pass plus a MED034 warning.
+    """
+    report = LintReport(model=artifact.model_name, gpu=artifact.gpu_name)
+
+    liveness = analyze_replay(artifact)
+    report.extend(liveness.diagnostics)
+    report.passes.append("liveness")
+
+    report.extend(check_pointers(artifact, liveness))
+    report.passes.append("pointers")
+
+    report.extend(check_topology(artifact))
+    report.passes.append("topology")
+
+    if catalog is None:
+        catalog = _zoo_catalog(artifact, report)
+    if catalog is not None:
+        report.extend(check_kernels(artifact, catalog))
+        report.passes.append("kernels")
+
+    report.extend(check_coverage(artifact, liveness))
+    report.passes.append("coverage")
+
+    report.stats.update({
+        "allocations": float(len(liveness.records)),
+        "replay_events": float(liveness.num_events),
+        "graphs": float(len(artifact.graphs)),
+        "nodes": float(artifact.total_nodes),
+        "diagnostics": float(len(report.diagnostics)),
+    })
+    return report
+
+
+def _zoo_catalog(artifact: MaterializedModel, report: LintReport):
+    from repro.models.kernels_catalog import build_catalog
+    from repro.models.zoo import get_model_config
+    try:
+        config = get_model_config(artifact.model_name)
+    except InvalidValueError:
+        report.diagnostics.append(Diagnostic(
+            "MED034",
+            f"model {artifact.model_name!r} is not in the zoo and no "
+            f"catalog was supplied; kernel-resolvability checks skipped",
+            "model_name"))
+        return None
+    return build_catalog(config)
+
+
+def lint_json_text(text: str, catalog=None) -> LintReport:
+    """Lint a serialized artifact.
+
+    Raises :class:`ArtifactError` only when the payload is unreadable
+    (invalid JSON / not an artifact object).  A wrong format version is
+    readable-but-broken: it comes back as a MED040-only report rather
+    than an exception, so CI can distinguish "corrupt file" (exit 2)
+    from "diagnostics found" (exit 1).
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"artifact is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ArtifactError(
+            f"artifact payload is a {type(payload).__name__}, expected an "
+            f"object")
+    version = payload.get("format_version")
+    if version != ARTIFACT_FORMAT_VERSION:
+        report = LintReport(model=str(payload.get("model_name", "")),
+                            gpu=str(payload.get("gpu_name", "")))
+        report.passes.append("schema")
+        report.diagnostics.append(Diagnostic(
+            "MED040",
+            f"artifact declares format version {version}, this code reads "
+            f"{ARTIFACT_FORMAT_VERSION}; re-run the offline phase",
+            "format_version"))
+        return report
+    return lint_artifact(MaterializedModel.from_json(text), catalog=catalog)
+
+
+def lint_file(path, catalog=None) -> LintReport:
+    """Lint an artifact file; raises ArtifactError if unreadable."""
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except FileNotFoundError as exc:
+        raise ArtifactError(f"no artifact at {path}") from exc
+    except OSError as exc:
+        raise ArtifactError(f"cannot read artifact at {path}: {exc}") from exc
+    return lint_json_text(text, catalog=catalog)

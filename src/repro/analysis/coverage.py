@@ -1,0 +1,117 @@
+"""Coverage and schema checks (§3, §4.3, and the Figure-6 static guard).
+
+Three families of invariants close out the analyzer:
+
+- **format/schema** — the artifact's format version matches the code's
+  (MED040) and the capture marker falls inside the allocation sequence
+  (MED044);
+- **permanent-contents coverage (§4.3)** — the classification that decided
+  which buffer contents to dump is *recomputable* from the artifact alone:
+  a referenced allocation born at/after the capture marker and never freed
+  is permanent and must have dumped contents (MED042); dumped contents for
+  anything else are orphans that would clobber live data on restore
+  (MED041);
+- **cross-batch layout consistency** — instances of the same kernel recur
+  across layers and batch sizes with identical parameter layouts (the very
+  assumption behind §4.1's majority vote).  A node whose const/ptr layout
+  diverges from its kernel's dominant layout is the static signature of a
+  Figure-6 false positive that slipped through (MED043).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.liveness import LivenessResult
+from repro.core.artifact import ARTIFACT_FORMAT_VERSION, MaterializedModel
+from repro.core.pointer_analysis import POINTER
+
+
+def check_coverage(artifact: MaterializedModel,
+                   liveness: LivenessResult) -> List[Diagnostic]:
+    """Schema, capture-marker, permanent-dump, and layout checks (§4.3)."""
+    diagnostics: List[Diagnostic] = []
+    if artifact.format_version != ARTIFACT_FORMAT_VERSION:
+        diagnostics.append(Diagnostic(
+            "MED040",
+            f"artifact declares format version {artifact.format_version}, "
+            f"this code writes {ARTIFACT_FORMAT_VERSION}",
+            "format_version"))
+    total_allocations = len(liveness.records)
+    if not 0 <= artifact.capture_marker <= total_allocations:
+        diagnostics.append(Diagnostic(
+            "MED044",
+            f"capture_marker {artifact.capture_marker} outside the "
+            f"0..{total_allocations} allocation sequence; permanent-buffer "
+            f"classification is undefined", "capture_marker"))
+    else:
+        diagnostics.extend(_check_permanent_dumps(artifact, liveness))
+    diagnostics.extend(_check_layout_consistency(artifact))
+    return diagnostics
+
+
+def _referenced_indices(artifact: MaterializedModel) -> Set[int]:
+    referenced: Set[int] = set()
+    for graph in artifact.graphs.values():
+        for node in graph.nodes:
+            for restore in node.param_restores:
+                if restore.kind == POINTER:
+                    referenced.add(restore.alloc_index)
+    return referenced
+
+
+def _check_permanent_dumps(artifact: MaterializedModel,
+                           liveness: LivenessResult) -> List[Diagnostic]:
+    """Recompute §4.3's classification and diff it against the dumps."""
+    diagnostics: List[Diagnostic] = []
+    permanent: Set[int] = set()
+    for alloc_index in _referenced_indices(artifact):
+        record = liveness.record(alloc_index)
+        if record is None:
+            continue    # MED010 already covers dangling references
+        if alloc_index >= artifact.capture_marker and record.freed is None:
+            permanent.add(alloc_index)
+    for alloc_index in sorted(permanent - set(artifact.permanent_contents)):
+        diagnostics.append(Diagnostic(
+            "MED042",
+            f"allocation {alloc_index} is permanent (referenced, born at "
+            f"or after the capture marker, never freed) but its contents "
+            f"were not dumped", f"permanent_contents[{alloc_index}]"))
+    for alloc_index in sorted(set(artifact.permanent_contents) - permanent):
+        diagnostics.append(Diagnostic(
+            "MED041",
+            f"dumped contents exist for allocation {alloc_index}, which "
+            f"the replay classifies as non-permanent; restoring them would "
+            f"overwrite memory the loading stages own",
+            f"permanent_contents[{alloc_index}]"))
+    return diagnostics
+
+
+def _check_layout_consistency(
+        artifact: MaterializedModel) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    # kernel name -> layout signature -> [(batch, node_index), ...]
+    layouts: Dict[str, Dict[Tuple[str, ...],
+                            List[Tuple[int, int]]]] = {}
+    for batch_size in sorted(artifact.graphs):
+        graph = artifact.graphs[batch_size]
+        for node_index, node in enumerate(graph.nodes):
+            signature = tuple(r.kind for r in node.param_restores)
+            layouts.setdefault(node.kernel_name, {}).setdefault(
+                signature, []).append((batch_size, node_index))
+    for kernel_name, by_signature in sorted(layouts.items()):
+        if len(by_signature) == 1:
+            continue
+        dominant = max(by_signature.values(), key=len)
+        for signature, instances in sorted(by_signature.items()):
+            if instances is dominant:
+                continue
+            batch_size, node_index = instances[0]
+            diagnostics.append(Diagnostic(
+                "MED043",
+                f"kernel {kernel_name}: {len(instances)} instance(s) carry "
+                f"layout {'/'.join(signature)} while {len(dominant)} carry "
+                f"the dominant one — a Figure-6-style misclassification",
+                f"graphs[{batch_size}].nodes[{node_index}]"))
+    return diagnostics

@@ -1,0 +1,106 @@
+"""Graph-topology checks over materialized CUDA graphs (§5, §2.5).
+
+A restored graph is instantiated straight from the artifact's node list and
+dependency edges; nothing downstream re-checks them.  This pass proves each
+graph is structurally sound:
+
+- every dependency edge references a valid node index (MED020);
+- the edges form a DAG — instantiation order exists (MED021);
+- the ``graphs`` mapping key equals the graph's own ``batch_size`` (MED022);
+- the first-layer node count used for triggering (§5.2) is within bounds
+  (MED023) and selects the *same* kernel-name prefix in every batch size's
+  graph (MED024) — online warm-up launches ``nodes[:first_layer_nodes]`` of
+  each graph, so a divergent prefix means the triggering plan warms the
+  wrong kernels for some batch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.core.artifact import MaterializedModel
+
+
+def check_topology(artifact: MaterializedModel) -> List[Diagnostic]:
+    """Edge validity, DAG-ness, and first-layer consistency checks (§5)."""
+    diagnostics: List[Diagnostic] = []
+    for batch_size in sorted(artifact.graphs):
+        graph = artifact.graphs[batch_size]
+        where = f"graphs[{batch_size}]"
+        if graph.batch_size != batch_size:
+            diagnostics.append(Diagnostic(
+                "MED022",
+                f"stored under key {batch_size} but declares batch_size "
+                f"{graph.batch_size}", where))
+        diagnostics.extend(_check_edges(graph, where))
+    diagnostics.extend(_check_first_layer(artifact))
+    return diagnostics
+
+
+def _check_edges(graph, where: str) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    num_nodes = graph.num_nodes
+    adjacency: Dict[int, List[int]] = {}
+    indegree = [0] * num_nodes
+    valid_edges = 0
+    for edge_index, (src, dst) in enumerate(graph.edges):
+        if not (0 <= src < num_nodes and 0 <= dst < num_nodes):
+            diagnostics.append(Diagnostic(
+                "MED020",
+                f"edge ({src}, {dst}) references nodes outside "
+                f"0..{num_nodes - 1}", f"{where}.edges[{edge_index}]"))
+            continue
+        adjacency.setdefault(src, []).append(dst)
+        indegree[dst] += 1
+        valid_edges += 1
+    # Kahn's algorithm over the valid edges: leftovers mean a cycle.
+    ready = [n for n in range(num_nodes) if indegree[n] == 0]
+    visited = 0
+    while ready:
+        node = ready.pop()
+        visited += 1
+        for dst in adjacency.get(node, ()):
+            indegree[dst] -= 1
+            if indegree[dst] == 0:
+                ready.append(dst)
+    if visited < num_nodes:
+        cyclic = sorted(n for n in range(num_nodes) if indegree[n] > 0)
+        diagnostics.append(Diagnostic(
+            "MED021",
+            f"dependency edges are cyclic through nodes "
+            f"{cyclic[:8]}{'...' if len(cyclic) > 8 else ''}",
+            f"{where}.edges"))
+    return diagnostics
+
+
+def _check_first_layer(artifact: MaterializedModel) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    if not artifact.graphs:
+        return diagnostics
+    count = artifact.first_layer_nodes
+    smallest = min(g.num_nodes for g in artifact.graphs.values())
+    if not 1 <= count <= smallest:
+        diagnostics.append(Diagnostic(
+            "MED023",
+            f"first_layer_nodes is {count}; must be between 1 and the "
+            f"smallest graph's node count ({smallest})",
+            "first_layer_nodes"))
+        return diagnostics
+    reference_batch = min(artifact.graphs)
+    reference = [node.kernel_name
+                 for node in artifact.graphs[reference_batch].nodes[:count]]
+    for batch_size in sorted(artifact.graphs):
+        prefix = [node.kernel_name
+                  for node in artifact.graphs[batch_size].nodes[:count]]
+        if prefix != reference:
+            mismatch = next(i for i, (a, b) in enumerate(zip(prefix,
+                                                             reference))
+                            if a != b)
+            diagnostics.append(Diagnostic(
+                "MED024",
+                f"first-layer prefix diverges from batch "
+                f"{reference_batch}'s at node {mismatch} "
+                f"({prefix[mismatch]} vs {reference[mismatch]})",
+                f"graphs[{batch_size}].nodes[{mismatch}]"))
+    return diagnostics

@@ -1,0 +1,111 @@
+"""Kernel-resolvability checks (static analogue of §5's address table).
+
+Online restoration resolves every materialized kernel *name* to a fresh
+address through three channels: first-layer graph nodes (§5.2), dlsym for
+visible kernels, and module enumeration for hidden kernels whose modules a
+triggering kernel forced to load (§5.1).  This pass proves — against the
+model's kernel catalog, with no process — that every name has at least one
+channel:
+
+- every graph kernel name appears in the artifact's kernel-library table
+  and in the catalog (MED030);
+- the table agrees with the catalog about the owning library (MED033 —
+  version skew between artifact and model binaries);
+- every *hidden* kernel's module is covered: a first-layer node, a visible
+  kernel of the same module, or a trigger plan loads it (MED031 — the
+  "invisible kernel with no coverage" failure that online surfaces only as
+  a RestorationError deep in the restore tail);
+- trigger plans reference real nodes carrying the planned kernel (MED032).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.core.artifact import MaterializedModel
+from repro.errors import InvalidValueError
+
+
+def check_kernels(artifact: MaterializedModel, catalog) -> List[Diagnostic]:
+    """``catalog`` is a :class:`repro.simgpu.libraries.LibraryCatalog`."""
+    diagnostics: List[Diagnostic] = []
+    covered_modules: Set[Tuple[str, str]] = set()
+    needed_modules: Dict[Tuple[str, str], List[str]] = {}
+
+    for batch_size in sorted(artifact.graphs):
+        graph = artifact.graphs[batch_size]
+        for node_index, node in enumerate(graph.nodes):
+            where = f"graphs[{batch_size}].nodes[{node_index}]"
+            name = node.kernel_name
+            declared_library = artifact.kernel_libraries.get(name)
+            if declared_library is None:
+                diagnostics.append(Diagnostic(
+                    "MED030",
+                    f"kernel {name} has no entry in the kernel-library "
+                    f"table; dlsym fallback cannot pick a library", where))
+            if name not in catalog:
+                diagnostics.append(Diagnostic(
+                    "MED030",
+                    f"kernel {name} does not exist in the model's kernel "
+                    f"catalog", where))
+                continue
+            spec = catalog.kernel(name)
+            if declared_library is not None \
+                    and declared_library != spec.library:
+                diagnostics.append(Diagnostic(
+                    "MED033",
+                    f"kernel {name} mapped to {declared_library}, catalog "
+                    f"says {spec.library}", where))
+            module_key = (spec.library, spec.module)
+            if node_index < artifact.first_layer_nodes or not spec.hidden:
+                covered_modules.add(module_key)
+            if spec.hidden:
+                needed_modules.setdefault(module_key, []).append(name)
+
+    diagnostics.extend(_check_trigger_plans(artifact, catalog,
+                                            covered_modules))
+    for module_key in sorted(needed_modules):
+        if module_key in covered_modules:
+            continue
+        library, module = module_key
+        kernels = sorted(set(needed_modules[module_key]))
+        diagnostics.append(Diagnostic(
+            "MED031",
+            f"module {module} of {library} holds hidden kernel(s) "
+            f"{kernels[:4]} but no first-layer node, visible kernel, or "
+            f"trigger plan loads it", f"{library}/{module}"))
+    return diagnostics
+
+
+def _check_trigger_plans(artifact: MaterializedModel, catalog,
+                         covered_modules: Set[Tuple[str, str]]
+                         ) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for plan_index, plan in enumerate(artifact.trigger_plans):
+        where = f"trigger_plans[{plan_index}]"
+        if plan.kernel_name not in catalog:
+            diagnostics.append(Diagnostic(
+                "MED032",
+                f"trigger kernel {plan.kernel_name} is not in the model's "
+                f"catalog", where))
+            continue
+        batch_size, node_index = plan.node_ref
+        graph = artifact.graphs.get(batch_size)
+        if graph is None or not 0 <= node_index < graph.num_nodes:
+            diagnostics.append(Diagnostic(
+                "MED032",
+                f"trigger plan references node ({batch_size}, {node_index}) "
+                f"which the artifact does not contain", where))
+            continue
+        node = graph.nodes[node_index]
+        if node.kernel_name != plan.kernel_name:
+            diagnostics.append(Diagnostic(
+                "MED032",
+                f"trigger plan launches {plan.kernel_name} with parameters "
+                f"of node ({batch_size}, {node_index}), which belongs to "
+                f"{node.kernel_name}", where))
+            continue
+        spec = catalog.kernel(plan.kernel_name)
+        covered_modules.add((spec.library, spec.module))
+    return diagnostics

@@ -1,0 +1,78 @@
+"""Pointer-bounds and use-after-free checking (static analogue of §4.1).
+
+Every ``ParamRestore`` of kind ``ptr`` is an *indirect index pointer*:
+``(allocation index, byte offset)``.  Online restoration resolves it to
+``buffer(alloc_index).address + offset`` without further checks, so a
+corrupt artifact can silently aim a kernel at unmapped or foreign memory.
+This pass proves, against the symbolic liveness table:
+
+- the allocation index is in range (MED010);
+- the offset lies strictly inside the aligned allocation (MED011 — the
+  last byte is fine, one-past-the-end is not, matching the restorer's
+  ``offset >= buffer.size`` guard);
+- the referenced memory is still *mapped* once the replay completes
+  (MED012).  Pool-freed and even superseded temporaries stay mapped — the
+  caching allocator keeps the block — and graph kernels rewrite them
+  before reading (§4.3), so only cudaFree'd or empty-cache-released
+  targets are faults;
+- a pointer restore sits on an 8-byte parameter slot (MED013) and every
+  node carries exactly one restore rule per parameter (MED014).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.liveness import UNMAPPED, LivenessResult
+from repro.core.artifact import MaterializedModel
+from repro.core.pointer_analysis import POINTER
+
+
+def check_pointers(artifact: MaterializedModel,
+                   liveness: LivenessResult) -> List[Diagnostic]:
+    """Bounds- and liveness-check every indirect index pointer (§4.1)."""
+    diagnostics: List[Diagnostic] = []
+    for batch_size in sorted(artifact.graphs):
+        graph = artifact.graphs[batch_size]
+        for node_index, node in enumerate(graph.nodes):
+            where = f"graphs[{batch_size}].nodes[{node_index}]"
+            if len(node.param_restores) != len(node.param_sizes):
+                diagnostics.append(Diagnostic(
+                    "MED014",
+                    f"kernel {node.kernel_name}: {len(node.param_restores)} "
+                    f"restore rules for {len(node.param_sizes)} parameters",
+                    where))
+            for position, (size, restore) in enumerate(
+                    zip(node.param_sizes, node.param_restores)):
+                if restore.kind != POINTER:
+                    continue
+                spot = f"{where}.params[{position}]"
+                if size != 8:
+                    diagnostics.append(Diagnostic(
+                        "MED013",
+                        f"pointer restore on a {size}-byte parameter of "
+                        f"{node.kernel_name}", spot))
+                record = liveness.record(restore.alloc_index)
+                if record is None:
+                    diagnostics.append(Diagnostic(
+                        "MED010",
+                        f"pointer names allocation {restore.alloc_index}, "
+                        f"which the replayed sequence never produces", spot))
+                    continue
+                if not 0 <= restore.offset < record.size:
+                    diagnostics.append(Diagnostic(
+                        "MED011",
+                        f"offset {restore.offset} outside allocation "
+                        f"{restore.alloc_index} of {record.size} bytes",
+                        spot))
+                if record.end_state == UNMAPPED:
+                    cause = ("cudaFree'd" if record.freed is not None
+                             and not record.pooled_free else
+                             "released by empty_cache")
+                    diagnostics.append(Diagnostic(
+                        "MED012",
+                        f"pointer into allocation {restore.alloc_index}, "
+                        f"{cause} at replay[{record.end_position}] and "
+                        f"unmapped when the graph launches", spot))
+    return diagnostics

@@ -6,8 +6,14 @@ Mirrors the original artifact's scripts (`scripts/serverless_llm.py
     python -m repro models
     python -m repro coldstart --model Qwen1.5-4B --strategy vllm
     python -m repro offline   --model Qwen1.5-4B --output qwen4b.medusa.json
+    python -m repro lint      qwen4b.medusa.json
+    python -m repro validate  --artifact qwen4b.medusa.json
     python -m repro restore   --model Qwen1.5-4B --artifact qwen4b.medusa.json --validate
     python -m repro simulate  --model Llama2-7B  --rps 10 --strategy medusa
+
+``lint`` and ``validate`` share the CI-friendly exit-code convention:
+0 = clean/passed, 1 = diagnostics found or outputs diverged, 2 = the
+artifact could not be read at all.
 """
 
 from __future__ import annotations
@@ -76,6 +82,21 @@ def build_parser() -> argparse.ArgumentParser:
     offline.add_argument("--output", required=True,
                          help="artifact JSON output path")
     offline.add_argument("--seed", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint", help="statically verify an artifact (no execution)")
+    lint.add_argument("artifact", help="artifact JSON path")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON")
+
+    validate = sub.add_parser(
+        "validate", help="full restore + output validation of an artifact")
+    validate.add_argument("--artifact", required=True)
+    validate.add_argument("--model",
+                          help="engine model (default: the artifact's)")
+    validate.add_argument("--json", action="store_true",
+                          help="emit the result as JSON")
+    validate.add_argument("--seed", type=int, default=0)
 
     restore = sub.add_parser("restore", help="Medusa online cold start")
     restore.add_argument("--model", required=True)
@@ -169,6 +190,59 @@ def _cmd_restore(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint_file
+    from repro.errors import ArtifactError
+    try:
+        report = lint_file(args.artifact)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return report.exit_code
+
+
+def _cmd_validate(args) -> int:
+    import json as _json
+
+    from repro.errors import ArtifactError, MaterializationError
+    from repro.reporting import format_diagnostics
+
+    try:
+        artifact = MaterializedModel.load(args.artifact)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    model = args.model or artifact.model_name
+    try:
+        result = validate_restoration(model, artifact, seed=args.seed + 1)
+    except MaterializationError as exc:
+        if args.json:
+            print(_json.dumps({"model": model, "passed": False,
+                               "error": str(exc)}, indent=2))
+        else:
+            print(f"validation: FAILED — {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps({
+            "model": result.model,
+            "passed": result.passed,
+            "batches_checked": result.batches_checked,
+            "max_abs_error": result.max_abs_error,
+            "diagnostics": [d.to_dict() for d in result.diagnostics],
+        }, indent=2))
+    else:
+        print(f"validation: PASSED on batches {result.batches_checked} "
+              f"(max abs error {result.max_abs_error})")
+        if result.diagnostics:
+            print(format_diagnostics("Static diagnostics",
+                                     result.diagnostics))
+    return 0 if result.passed and not result.diagnostics else 1
+
+
 def _cmd_simulate(args) -> int:
     strategy = args.strategy
     if strategy is Strategy.MEDUSA:
@@ -200,6 +274,8 @@ _COMMANDS = {
     "save-tensor": _cmd_save_tensor,
     "coldstart": _cmd_coldstart,
     "offline": _cmd_offline,
+    "lint": _cmd_lint,
+    "validate": _cmd_validate,
     "restore": _cmd_restore,
     "simulate": _cmd_simulate,
 }

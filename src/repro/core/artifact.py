@@ -175,11 +175,16 @@ class MaterializedModel:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
             raise ArtifactError(f"artifact is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ArtifactError(
+                f"artifact payload is a {type(payload).__name__}, expected "
+                f"an object")
         version = payload.get("format_version")
         if version != ARTIFACT_FORMAT_VERSION:
             raise ArtifactError(
-                f"artifact format {version} != supported "
-                f"{ARTIFACT_FORMAT_VERSION}")
+                f"artifact has format version {version!r} but this code "
+                f"reads version {ARTIFACT_FORMAT_VERSION}; re-run the "
+                f"offline phase to re-materialize it")
         artifact = cls(
             model_name=payload["model_name"],
             gpu_name=payload["gpu_name"],

@@ -70,11 +70,17 @@ class OfflinePhase:
                  cost_model: Optional[CostModel] = None,
                  kv_config: Optional[KVCacheConfig] = None,
                  naive_pointer_matching: bool = False,
-                 batch_subset: Optional[Tuple[int, ...]] = None):
+                 batch_subset: Optional[Tuple[int, ...]] = None,
+                 lint: bool = True):
         """``batch_subset``: materialize only these batch sizes (must be a
         subset of the config's capture list).  Fewer sizes cut the offline
         time and artifact size at the cost of coarser padding when serving
-        (uncovered batch sizes replay the next larger graph)."""
+        (uncovered batch sizes replay the next larger graph).
+
+        ``lint``: statically verify the finished artifact (zero GPU-time;
+        see :mod:`repro.analysis`) and refuse to emit one that carries
+        error-severity diagnostics.  Off only for ablations that *want*
+        broken artifacts (e.g. naive pointer matching)."""
         if isinstance(config, str):
             config = get_model_config(config)
         if batch_subset is not None:
@@ -91,6 +97,7 @@ class OfflinePhase:
         self.cost_model = cost_model or CostModel()
         self.kv_config = kv_config or KVCacheConfig()
         self.naive_pointer_matching = naive_pointer_matching
+        self.lint = lint
         self.engine: Optional[LLMEngine] = None
 
     # ------------------------------------------------------------------
@@ -98,6 +105,9 @@ class OfflinePhase:
     def run(self) -> Tuple[MaterializedModel, OfflineReport]:
         engine, trace, capture_stage_time = self._capturing_stage()
         artifact, analysis_time, stats = self._analysis_stage(engine, trace)
+        if self.lint:
+            stats["lint_diagnostics"] = float(
+                self._lint_artifact(engine, artifact))
         report = OfflineReport(
             model=self.config.name,
             capture_stage_time=capture_stage_time,
@@ -106,6 +116,19 @@ class OfflinePhase:
         )
         artifact.stats.update(stats)
         return artifact, report
+
+    def _lint_artifact(self, engine: LLMEngine,
+                       artifact: MaterializedModel) -> int:
+        """Lint-on-materialize: never emit an artifact that cannot restore."""
+        from repro.analysis import lint_artifact
+        from repro.errors import LintError
+        report = lint_artifact(artifact, catalog=engine.catalog)
+        if report.errors:
+            raise LintError(
+                f"materialized artifact for {self.config.name} failed "
+                f"static verification with {len(report.errors)} error(s): "
+                f"{', '.join(report.codes())}", report=report)
+        return len(report.diagnostics)
 
     # -- capturing stage ------------------------------------------------------
 

@@ -14,7 +14,7 @@ import re
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.artifact import MaterializedModel
-from repro.errors import ArtifactError
+from repro.errors import ArtifactError, LintError
 
 _INDEX_NAME = "index.json"
 
@@ -26,9 +26,15 @@ def _slug(text: str) -> str:
 class ArtifactStore:
     """Materialization artifacts for many models on one storage path."""
 
-    def __init__(self, root):
+    def __init__(self, root, lint_on_load: bool = False):
+        """``lint_on_load``: statically verify every artifact fetched with
+        :meth:`get` (see :mod:`repro.analysis`) and raise
+        :class:`~repro.errors.LintError` on error-severity diagnostics —
+        the SSD copy may be corrupt, hand-edited, or version-skewed even
+        when the index entry looks fine."""
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.lint_on_load = lint_on_load
         self._index_path = self.root / _INDEX_NAME
 
     # -- index ------------------------------------------------------------
@@ -69,7 +75,16 @@ class ArtifactStore:
             raise ArtifactError(
                 f"no materialization for <{gpu_name}, {model_name}> in "
                 f"{self.root}; run the offline phase first")
-        return MaterializedModel.load(self.root / filename)
+        artifact = MaterializedModel.load(self.root / filename)
+        if self.lint_on_load:
+            from repro.analysis import lint_artifact
+            report = lint_artifact(artifact)
+            if report.errors:
+                raise LintError(
+                    f"stored artifact {filename} failed static "
+                    f"verification with {len(report.errors)} error(s): "
+                    f"{', '.join(report.codes())}", report=report)
+        return artifact
 
     def has(self, gpu_name: str, model_name: str) -> bool:
         return self._key(gpu_name, model_name) in self._read_index()

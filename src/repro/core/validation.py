@@ -28,6 +28,10 @@ class ValidationReport:
     model: str
     batches_checked: List[int] = field(default_factory=list)
     max_abs_error: float = 0.0
+    # Static-analysis findings (repro.analysis) that accompanied this run,
+    # so runtime validation and lint results travel through one structure
+    # (rendered via repro.reporting.tables.format_diagnostics).
+    diagnostics: List = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -44,12 +48,28 @@ def make_input_ids(seed: int = 0) -> np.ndarray:
 def validate_restoration(config, artifact: MaterializedModel,
                          batches: Optional[Sequence[int]] = None,
                          seed: int = 77, cost_model=None,
-                         kv_config=None) -> ValidationReport:
-    """Restore in a fresh process and compare replay vs eager outputs."""
+                         kv_config=None,
+                         static_lint: bool = True) -> ValidationReport:
+    """Restore in a fresh process and compare replay vs eager outputs.
+
+    ``static_lint``: run the zero-execution artifact verifier first; its
+    diagnostics land on the report, and error-severity findings abort
+    before the restore touches the artifact (a corrupt artifact should
+    fail fast, not fault mid-replay).
+    """
+    report = ValidationReport(model=artifact.model_name)
+    if static_lint:
+        from repro.analysis import lint_artifact
+        lint = lint_artifact(artifact)
+        report.diagnostics = list(lint.diagnostics)
+        if lint.errors:
+            raise ValidationError(
+                f"{artifact.model_name}: static verification found "
+                f"{len(lint.errors)} error(s) ({', '.join(lint.codes())}); "
+                f"refusing to restore a corrupt artifact")
     engine, _report = medusa_cold_start(
         config, artifact, seed=seed, mode=ExecutionMode.COMPUTE,
         cost_model=cost_model, kv_config=kv_config)
-    report = ValidationReport(model=artifact.model_name)
     check_batches = list(batches) if batches is not None else \
         [min(artifact.graphs)]
     ctx = engine.serving_context()

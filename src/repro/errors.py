@@ -94,3 +94,16 @@ class ValidationError(MaterializationError):
 
 class ArtifactError(MaterializationError):
     """A materialization artifact is missing, truncated, or incompatible."""
+
+
+class LintError(MaterializationError):
+    """The static artifact verifier found error-severity diagnostics.
+
+    Raised by lint gates (offline lint-on-materialize, the store's
+    lint-on-load) — the diagnostics themselves live on the
+    :class:`repro.analysis.LintReport` attached as ``report``.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

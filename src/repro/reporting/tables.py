@@ -41,6 +41,21 @@ def format_table(title: str, headers: Sequence[str],
     return "\n".join(lines)
 
 
+def format_diagnostics(title: str, diagnostics: Sequence) -> str:
+    """Render static-analysis / validation diagnostics as one table.
+
+    Accepts any objects with ``code``, ``severity``, ``location``, and
+    ``message`` attributes (:class:`repro.analysis.Diagnostic`), so runtime
+    validation reports and lint reports share one rendering path.
+    """
+    if not diagnostics:
+        return f"{title}\n{'=' * len(title)}\n(no diagnostics)"
+    rows = [[d.code, d.severity, d.location or "-", d.message]
+            for d in diagnostics]
+    return format_table(title, ["code", "severity", "location", "message"],
+                        rows)
+
+
 def format_series(title: str, series: Dict[str, Sequence[Cell]],
                   x_label: str, x_values: Sequence[Cell]) -> str:
     """A figure rendered as one column per line (x plus one column/series)."""

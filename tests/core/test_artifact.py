@@ -86,6 +86,33 @@ class TestRoundTrip:
         with pytest.raises(ArtifactError):
             MaterializedModel.from_json(text)
 
+    def test_v1_payload_rejected_naming_both_versions(self, tmp_path):
+        """A stale v1 artifact fails with a message naming both versions,
+        not a cryptic KeyError from a missing v2 field."""
+        import json
+        payload = json.loads(small_artifact().to_json())
+        payload["format_version"] = 1
+        del payload["trigger_plans"]        # field v1 predates
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError) as excinfo:
+            MaterializedModel.load(path)
+        message = str(excinfo.value)
+        assert "1" in message
+        assert str(ARTIFACT_FORMAT_VERSION) in message
+        assert "KeyError" not in message
+
+    def test_missing_version_rejected(self):
+        import json
+        payload = json.loads(small_artifact().to_json())
+        del payload["format_version"]
+        with pytest.raises(ArtifactError):
+            MaterializedModel.from_json(json.dumps(payload))
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ArtifactError):
+            MaterializedModel.from_json("[1, 2, 3]")
+
 
 class TestAccessors:
     def test_total_nodes(self):

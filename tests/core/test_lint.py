@@ -1,0 +1,316 @@
+"""Static artifact verifier: per-pass unit tests plus zoo-wide clean runs."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    MAPPED,
+    SUPERSEDED,
+    UNMAPPED,
+    analyze_replay,
+    lint_artifact,
+    lint_json_text,
+)
+from repro.core.artifact import (
+    MaterializedGraph,
+    MaterializedModel,
+    MaterializedNode,
+    ReplayEvent,
+    TriggerPlan,
+)
+from repro.core.pointer_analysis import ParamRestore
+from repro.errors import ArtifactError
+
+NORM = "_Z9layernormPfS_S_i"          # visible, libtorch_sim/mod_norm
+GEMM = "_ZN7cublas_sim10gemm_plainEv"  # hidden, libcublas_sim/mod_gemm
+
+
+def clean_artifact() -> MaterializedModel:
+    """A hand-built artifact that lints clean against the small catalog."""
+    artifact = MaterializedModel(model_name="Hand-Built", gpu_name="Tiny-GPU",
+                                 kv_bytes=1 << 20, kv_num_blocks=8,
+                                 kv_layer_stride=4096, kv_alloc_index=1,
+                                 graph_input_alloc_index=2,
+                                 graph_output_alloc_index=3,
+                                 capture_marker=4)
+    artifact.structure_prefix = [(1024, "weight")]
+    artifact.replay_events = [
+        ReplayEvent("alloc", alloc_index=1, size=4096, tag="kv"),
+        ReplayEvent("alloc", alloc_index=2, size=512, tag="graph_input"),
+        ReplayEvent("alloc", alloc_index=3, size=512, tag="graph_output"),
+        ReplayEvent("alloc", alloc_index=4, size=2048, tag="act",
+                    pool="graph"),
+        ReplayEvent("alloc", alloc_index=5, size=256, tag="workspace"),
+        ReplayEvent("free", alloc_index=4, pooled=True),
+    ]
+    artifact.kernel_libraries = {NORM: "libtorch_sim",
+                                 GEMM: "libcublas_sim"}
+    artifact.graphs[1] = MaterializedGraph(
+        batch_size=1,
+        nodes=[
+            MaterializedNode(
+                kernel_name=NORM,
+                param_sizes=[8, 8, 8, 4],
+                param_restores=[ParamRestore.pointer(2, 0),
+                                ParamRestore.pointer(0, 0),
+                                ParamRestore.pointer(3, 0),
+                                ParamRestore.const(64)],
+                launch_dims={"batch_size": 1}),
+            MaterializedNode(
+                kernel_name=GEMM,
+                param_sizes=[8, 8, 8],
+                param_restores=[ParamRestore.pointer(4, 128),
+                                ParamRestore.pointer(5, 0),
+                                ParamRestore.pointer(3, 0)],
+                launch_dims={"batch_size": 1}),
+        ],
+        edges=[(0, 1)],
+        param_bytes=256, num_tokens=1)
+    artifact.first_layer_nodes = 2
+    artifact.permanent_contents = {5: [[1.0]]}
+    return artifact
+
+
+class TestCleanArtifact:
+    def test_hand_built_artifact_is_clean(self, catalog):
+        report = lint_artifact(clean_artifact(), catalog=catalog)
+        assert report.clean, report.format_text()
+        assert report.exit_code == 0
+        assert report.passes == ["liveness", "pointers", "topology",
+                                 "kernels", "coverage"]
+
+    def test_unknown_model_without_catalog_warns_only(self):
+        report = lint_artifact(clean_artifact())
+        assert report.codes() == ["MED034"]
+        assert not report.errors
+        assert report.exit_code == 1    # a warning still counts as dirty
+
+    def test_stats_populated(self, catalog):
+        report = lint_artifact(clean_artifact(), catalog=catalog)
+        assert report.stats["nodes"] == 2.0
+        assert report.stats["allocations"] == 6.0
+
+
+class TestLivenessPass:
+    def test_live_intervals_and_end_states(self):
+        artifact = clean_artifact()
+        artifact.replay_events.extend([
+            # claim alloc 4's pool block -> 4 becomes superseded
+            ReplayEvent("alloc", alloc_index=6, size=2048, tag="act",
+                        pool="graph"),
+            # cudaFree alloc 6 -> unmapped
+            ReplayEvent("free", alloc_index=6, pooled=False),
+        ])
+        result = analyze_replay(artifact)
+        assert not result.diagnostics
+        assert result.record(0).origin == "prefix"
+        assert result.record(1).end_state == MAPPED
+        assert result.record(4).end_state == SUPERSEDED
+        assert result.record(4).live_interval == (3, 6)
+        assert result.record(6).end_state == UNMAPPED
+
+    def test_empty_cache_releases_pooled_blocks(self):
+        artifact = clean_artifact()
+        artifact.replay_events.append(ReplayEvent("empty_cache"))
+        result = analyze_replay(artifact)
+        assert result.record(4).end_state == UNMAPPED
+        assert result.record(5).end_state == MAPPED   # never freed
+
+    def test_double_free_flagged(self):
+        artifact = clean_artifact()
+        artifact.replay_events.append(
+            ReplayEvent("free", alloc_index=4, pooled=True))
+        result = analyze_replay(artifact)
+        assert [d.code for d in result.diagnostics] == ["MED003"]
+
+    def test_free_of_unknown_index_flagged(self):
+        artifact = clean_artifact()
+        artifact.replay_events.append(
+            ReplayEvent("free", alloc_index=77, pooled=False))
+        result = analyze_replay(artifact)
+        assert [d.code for d in result.diagnostics] == ["MED002"]
+
+    def test_alloc_index_drift_flagged(self):
+        artifact = clean_artifact()
+        artifact.replay_events.insert(0, ReplayEvent(
+            "alloc", alloc_index=9, size=64, tag="act"))
+        result = analyze_replay(artifact)
+        assert any(d.code == "MED001" for d in result.diagnostics)
+
+    def test_mistagged_kv_anchor_flagged(self):
+        artifact = clean_artifact()
+        artifact.kv_alloc_index = 2    # tagged graph_input
+        result = analyze_replay(artifact)
+        assert any(d.code == "MED006" for d in result.diagnostics)
+
+
+class TestPointerPass:
+    def test_pointer_to_superseded_temporary_is_legal(self, catalog):
+        """Pool reuse keeps the memory mapped; graph kernels rewrite
+        temporaries before reading (§4.3) — no diagnostic."""
+        artifact = clean_artifact()
+        artifact.replay_events.append(ReplayEvent(
+            "alloc", alloc_index=6, size=2048, tag="act", pool="graph"))
+        report = lint_artifact(artifact, catalog=catalog)
+        assert report.clean, report.format_text()
+
+    def test_pointer_to_cudafreed_memory_flagged(self, catalog):
+        artifact = clean_artifact()
+        artifact.replay_events[-1] = ReplayEvent(
+            "free", alloc_index=4, pooled=False)   # cudaFree, not pool free
+        report = lint_artifact(artifact, catalog=catalog)
+        assert report.has("MED012")
+
+    def test_offset_at_last_byte_legal_one_past_flagged(self, catalog):
+        artifact = clean_artifact()
+        node = artifact.graphs[1].nodes[1]
+        node.param_restores[0] = ParamRestore.pointer(4, 2047)
+        assert lint_artifact(artifact, catalog=catalog).clean
+        node.param_restores[0] = ParamRestore.pointer(4, 2048)
+        assert lint_artifact(artifact, catalog=catalog).has("MED011")
+
+
+class TestTopologyPass:
+    def test_cycle_flagged(self, catalog):
+        artifact = clean_artifact()
+        artifact.graphs[1].edges.append((1, 0))
+        report = lint_artifact(artifact, catalog=catalog)
+        assert report.has("MED021")
+
+    def test_self_edge_is_a_cycle(self, catalog):
+        artifact = clean_artifact()
+        artifact.graphs[1].edges.append((0, 0))
+        assert lint_artifact(artifact, catalog=catalog).has("MED021")
+
+    def test_first_layer_prefix_divergence_flagged(self, catalog):
+        artifact = clean_artifact()
+        second = artifact.graphs[1]
+        artifact.graphs[2] = MaterializedGraph(
+            batch_size=2,
+            nodes=[second.nodes[1], second.nodes[0]],   # reordered
+            edges=[(0, 1)], param_bytes=256, num_tokens=2)
+        report = lint_artifact(artifact, catalog=catalog)
+        assert report.has("MED024")
+
+
+class TestKernelPass:
+    def test_hidden_module_without_coverage_flagged(self, catalog):
+        artifact = clean_artifact()
+        artifact.first_layer_nodes = 1   # hidden GEMM no longer warmed up
+        report = lint_artifact(artifact, catalog=catalog)
+        assert report.has("MED031")
+
+    def test_trigger_plan_restores_coverage(self, catalog):
+        artifact = clean_artifact()
+        artifact.first_layer_nodes = 1
+        artifact.trigger_plans = [TriggerPlan(GEMM, (1, 1))]
+        report = lint_artifact(artifact, catalog=catalog)
+        assert report.clean, report.format_text()
+
+    def test_trigger_plan_kernel_node_mismatch_flagged(self, catalog):
+        artifact = clean_artifact()
+        artifact.trigger_plans = [TriggerPlan(GEMM, (1, 0))]  # node 0 is NORM
+        assert lint_artifact(artifact, catalog=catalog).has("MED032")
+
+    def test_library_skew_flagged(self, catalog):
+        artifact = clean_artifact()
+        artifact.kernel_libraries[NORM] = "libcublas_sim"
+        assert lint_artifact(artifact, catalog=catalog).has("MED033")
+
+
+class TestCoveragePass:
+    def test_missing_permanent_dump_flagged(self, catalog):
+        artifact = clean_artifact()
+        artifact.permanent_contents = {}
+        assert lint_artifact(artifact, catalog=catalog).has("MED042")
+
+    def test_orphan_dump_flagged(self, catalog):
+        artifact = clean_artifact()
+        artifact.permanent_contents[2] = [[9.0]]   # graph input: pre-capture
+        assert lint_artifact(artifact, catalog=catalog).has("MED041")
+
+    def test_layout_divergence_flagged(self, catalog):
+        artifact = clean_artifact()
+        graph = artifact.graphs[1]
+        divergent = MaterializedNode(
+            kernel_name=NORM,
+            param_sizes=[8, 8, 8, 4],
+            param_restores=[ParamRestore.pointer(2, 0),
+                            ParamRestore.const(123),    # weight demoted
+                            ParamRestore.pointer(3, 0),
+                            ParamRestore.const(64)],
+            launch_dims={"batch_size": 1})
+        graph.nodes.append(divergent)
+        assert lint_artifact(artifact, catalog=catalog).has("MED043")
+
+
+class TestSerializedEntryPoints:
+    def test_version_mismatch_reported_not_raised(self):
+        payload = json.loads(clean_artifact().to_json())
+        payload["format_version"] = 1
+        report = lint_json_text(json.dumps(payload))
+        assert report.codes() == ["MED040"]
+        assert report.exit_code == 1
+
+    def test_invalid_json_raises_artifact_error(self):
+        with pytest.raises(ArtifactError):
+            lint_json_text("{broken")
+
+    def test_non_object_payload_raises(self):
+        with pytest.raises(ArtifactError):
+            lint_json_text("[]")
+
+    def test_round_trip_stays_clean(self, catalog):
+        report = lint_json_text(clean_artifact().to_json(), catalog=catalog)
+        assert report.clean
+
+
+class TestLintIsCheap:
+    def test_lint_much_faster_than_validate(self, tiny2l_artifact):
+        """Static analysis must stay a small fraction of a full restore +
+        output validation (the acceptance bar is 5%; assert a lenient 50%
+        so the test is immune to wall-clock noise on shared runners)."""
+        import time
+
+        from repro.core.validation import validate_restoration
+        from tests.conftest import tiny_cost_model
+
+        artifact, _report = tiny2l_artifact
+        start = time.perf_counter()
+        for _ in range(3):
+            lint_artifact(artifact)
+        lint_seconds = (time.perf_counter() - start) / 3
+
+        start = time.perf_counter()
+        validate_restoration("Tiny-2L", artifact, seed=7,
+                             cost_model=tiny_cost_model())
+        validate_seconds = time.perf_counter() - start
+
+        assert lint_seconds < 0.5 * validate_seconds, (
+            f"lint took {lint_seconds:.3f}s vs validate "
+            f"{validate_seconds:.3f}s")
+
+
+class TestZooArtifactsLintClean:
+    """No false positives: every model in the zoo materializes clean."""
+
+    def test_tiny_artifacts_clean(self, tiny2l_artifact, tiny4l_artifact):
+        for artifact, _report in (tiny2l_artifact, tiny4l_artifact):
+            report = lint_artifact(artifact)
+            assert report.clean, report.format_text()
+
+    @pytest.mark.parametrize("model", [
+        "Falcon-7B", "Llama2-7B", "Llama2-13B", "Qwen1.5-0.5B",
+        "Qwen1.5-1.8B", "Qwen1.5-4B", "Qwen1.5-7B", "Qwen1.5-14B",
+        "Yi-6B", "Yi-9B", "Tiny-Wide",
+    ])
+    def test_zoo_artifact_clean(self, model):
+        from repro.core.offline import run_offline
+        from repro.models.zoo import get_model_config
+        config = get_model_config(model)
+        subset = tuple(config.capture_batch_sizes[:3])
+        artifact, report = run_offline(model, seed=11, batch_subset=subset)
+        assert artifact.stats["lint_diagnostics"] == 0.0
+        lint = lint_artifact(artifact)
+        assert lint.clean, lint.format_text()

@@ -84,6 +84,42 @@ class TestBackwardMatching:
         index = AllocationIndex(trace)
         assert index.naive_match(HEAP) == (0, 0)
 
+    def test_interior_pointer_at_exact_last_byte(self):
+        """The final addressable byte of a buffer is still inside it."""
+        trace = Trace(events=[alloc(0, 0, HEAP, size=4096)])
+        index = AllocationIndex(trace)
+        assert index.backward_match(HEAP + 4095, before_seq=10) == (0, 4095)
+
+    def test_pointer_one_past_end_does_not_match(self):
+        """base + size is one past the end — §4.1's "within the range of
+        the allocated buffer" is half-open, so it must NOT resolve."""
+        trace = Trace(events=[alloc(0, 0, HEAP, size=4096)])
+        index = AllocationIndex(trace)
+        assert index.backward_match(HEAP + 4096, before_seq=10) is None
+
+    def test_three_lifo_generations_resolve_to_latest_live(self):
+        """An address recycled across >= 3 LIFO pool generations binds each
+        launch to the generation live at that launch — and a launch after
+        the last generation picks it, not any of the earlier ones."""
+        events = []
+        seq = 0
+        for generation in range(3):
+            events.append(alloc(seq, generation, HEAP, size=1024))
+            seq += 1
+            events.append(free(seq, generation, HEAP))
+            seq += 1
+        events.append(alloc(seq, 3, HEAP, size=1024))   # generation 4, live
+        launch_seq = seq + 1
+        index = AllocationIndex(Trace(events=events))
+        assert index.backward_match(HEAP, before_seq=launch_seq) == (3, 0)
+        assert index.backward_match(HEAP + 100, before_seq=launch_seq) \
+            == (3, 100)
+        # Each earlier generation is still found by a launch inside its
+        # own live window (generation g lives between seq 2g and 2g+1).
+        for generation in range(3):
+            assert index.backward_match(
+                HEAP, before_seq=2 * generation + 1) == (generation, 0)
+
     def test_kernel_using_buffer_before_free(self):
         """A temp used by a kernel, then freed, then its address reused:
         the earlier launch still binds to the earlier allocation."""

@@ -1,8 +1,18 @@
 """CLI tests (driving tiny models through the public command surface)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def tiny_artifact_path(tmp_path_factory):
+    """A materialized Tiny-2L artifact shared by the lint/validate tests."""
+    path = str(tmp_path_factory.mktemp("cli") / "tiny.medusa.json")
+    assert main(["offline", "--model", "Tiny-2L", "--output", path]) == 0
+    return path
 
 
 class TestParser:
@@ -63,6 +73,89 @@ class TestCommands:
                      "--strategy", "no-cuda-graph"]) == 0
         output = capsys.readouterr().out
         assert "ttft_p99" in output
+
+
+class TestLintCommand:
+    def test_clean_artifact_exits_zero(self, tiny_artifact_path, capsys):
+        assert main(["lint", tiny_artifact_path]) == 0
+        output = capsys.readouterr().out
+        assert "artifact is clean" in output
+        assert "0 error(s)" in output
+
+    def test_json_output(self, tiny_artifact_path, capsys):
+        assert main(["lint", tiny_artifact_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["diagnostics"] == []
+        assert "liveness" in payload["passes"]
+
+    def test_diagnostics_exit_one(self, tiny_artifact_path, tmp_path, capsys):
+        payload = json.loads(open(tiny_artifact_path).read())
+        payload["capture_marker"] = -5
+        bad = tmp_path / "bad.medusa.json"
+        bad.write_text(json.dumps(payload))
+        assert main(["lint", str(bad)]) == 1
+        assert "MED044" in capsys.readouterr().out
+
+    def test_diagnostics_exit_one_as_json(self, tiny_artifact_path,
+                                          tmp_path, capsys):
+        payload = json.loads(open(tiny_artifact_path).read())
+        payload["replay_events"].append(
+            {"kind": "free", "alloc_index": 999999, "size": 0, "tag": "",
+             "pooled": False, "pool": "default"})
+        bad = tmp_path / "bad.medusa.json"
+        bad.write_text(json.dumps(payload))
+        assert main(["lint", str(bad), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is False
+        assert report["diagnostics"][0]["code"] == "MED002"
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unreadable_payload_exits_two(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert main(["lint", str(garbage)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stale_version_is_a_diagnostic_not_a_crash(
+            self, tiny_artifact_path, tmp_path, capsys):
+        payload = json.loads(open(tiny_artifact_path).read())
+        payload["format_version"] = 1
+        stale = tmp_path / "stale.medusa.json"
+        stale.write_text(json.dumps(payload))
+        assert main(["lint", str(stale)]) == 1
+        assert "MED040" in capsys.readouterr().out
+
+
+class TestValidateCommand:
+    def test_clean_artifact_passes(self, tiny_artifact_path, capsys):
+        assert main(["validate", "--artifact", tiny_artifact_path]) == 0
+        assert "validation: PASSED" in capsys.readouterr().out
+
+    def test_json_output(self, tiny_artifact_path, capsys):
+        assert main(["validate", "--artifact", tiny_artifact_path,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["model"] == "Tiny-2L"
+        assert payload["diagnostics"] == []
+
+    def test_lint_errors_fail_before_any_restore(self, tiny_artifact_path,
+                                                 tmp_path, capsys):
+        payload = json.loads(open(tiny_artifact_path).read())
+        payload["first_layer_nodes"] = 10**4
+        bad = tmp_path / "bad.medusa.json"
+        bad.write_text(json.dumps(payload))
+        assert main(["validate", "--artifact", str(bad)]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_missing_artifact_exits_two(self, tmp_path, capsys):
+        assert main(["validate", "--artifact",
+                     str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestSimulateStrategies:

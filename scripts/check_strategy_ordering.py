@@ -1,0 +1,49 @@
+"""CI smoke check: the paper's strategy ordering must hold on a real model.
+
+Runs one cold start per strategy (Medusa from a freshly materialized
+artifact) and asserts the loading-phase ordering the paper establishes
+(§7.3): Medusa < vLLM+ASYNC < vanilla vLLM.  Exits non-zero on any
+regression, so benchmark-level scheduling changes that silently invert the
+comparison fail the build instead of producing a wrong Figure 8.
+
+Usage: PYTHONPATH=src python scripts/check_strategy_ordering.py [model]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.offline import run_offline
+from repro.core.online import cold_start_for
+from repro.engine import Strategy
+
+DEFAULT_MODEL = "Qwen1.5-0.5B"
+
+
+def main(argv) -> int:
+    model = argv[1] if len(argv) > 1 else DEFAULT_MODEL
+    artifact, _ = run_offline(model, seed=4242)
+    loading = {}
+    for strategy in (Strategy.VLLM, Strategy.VLLM_ASYNC, Strategy.MEDUSA):
+        needs = artifact if strategy is Strategy.MEDUSA else None
+        _engine, report = cold_start_for(model, strategy, artifact=needs,
+                                         seed=4242)
+        loading[strategy] = report.loading_time
+        print(f"{strategy.label:>16}: {report.loading_time:.3f} s "
+              f"(plan: {report.timeline.plan})")
+
+    failures = []
+    if not loading[Strategy.MEDUSA] < loading[Strategy.VLLM_ASYNC]:
+        failures.append("Medusa is not faster than vLLM+ASYNC")
+    if not loading[Strategy.VLLM_ASYNC] < loading[Strategy.VLLM]:
+        failures.append("vLLM+ASYNC is not faster than vanilla vLLM")
+    for failure in failures:
+        print(f"ORDERING REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"ordering OK on {model}: "
+              f"Medusa < vLLM+ASYNC < vLLM")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -32,6 +32,7 @@ from repro.core import (
     OfflinePhase,
     OfflineReport,
     OnlineRestorer,
+    cold_start_for,
     medusa_cold_start,
     run_offline,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "Strategy",
     "TINY_MODELS",
     "get_model_config",
+    "cold_start_for",
     "medusa_cold_start",
     "paper_model_names",
     "run_offline",

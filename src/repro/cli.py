@@ -24,11 +24,11 @@ from typing import List, Optional
 
 from repro.core.artifact import MaterializedModel
 from repro.core.offline import run_offline
-from repro.core.online import medusa_cold_start
+from repro.core.online import cold_start_for
 from repro.core.validation import validate_restoration
-from repro.engine import LLMEngine, Strategy
+from repro.engine import Strategy
 from repro.models.zoo import PAPER_MODELS, get_model_config
-from repro.reporting import format_table
+from repro.reporting import format_stage_breakdown, format_table
 from repro.serverless import (
     ClusterSimulator,
     ServingCostModel,
@@ -137,20 +137,20 @@ def _print_report(report) -> None:
     print(format_table(
         f"Cold start: {report.model} under {report.strategy.label}",
         ["stage", "simulated seconds"], rows))
+    print()
+    print(format_stage_breakdown(
+        f"Stage schedule (plan: {report.timeline.plan or 'legacy'})",
+        report.timeline))
 
 
 def _cmd_coldstart(args) -> int:
-    if args.strategy is Strategy.MEDUSA:
-        if not args.artifact:
-            print("error: --strategy medusa requires --artifact "
-                  "(run `repro offline` first)", file=sys.stderr)
-            return 2
-        artifact = MaterializedModel.load(args.artifact)
-        _engine, report = medusa_cold_start(args.model, artifact,
-                                            seed=args.seed)
-    else:
-        engine = LLMEngine(args.model, args.strategy, seed=args.seed)
-        report = engine.cold_start()
+    if args.strategy is Strategy.MEDUSA and not args.artifact:
+        print("error: --strategy medusa requires --artifact "
+              "(run `repro offline` first)", file=sys.stderr)
+        return 2
+    artifact = MaterializedModel.load(args.artifact) if args.artifact else None
+    _engine, report = cold_start_for(args.model, args.strategy,
+                                     artifact=artifact, seed=args.seed)
     _print_report(report)
     return 0
 
@@ -180,7 +180,8 @@ def _cmd_offline(args) -> int:
 
 def _cmd_restore(args) -> int:
     artifact = MaterializedModel.load(args.artifact)
-    _engine, report = medusa_cold_start(args.model, artifact, seed=args.seed)
+    _engine, report = cold_start_for(args.model, Strategy.MEDUSA,
+                                     artifact=artifact, seed=args.seed)
     _print_report(report)
     if args.validate:
         result = validate_restoration(args.model, artifact,
@@ -245,20 +246,16 @@ def _cmd_validate(args) -> int:
 
 def _cmd_simulate(args) -> int:
     strategy = args.strategy
+    artifact = None
     if strategy is Strategy.MEDUSA:
         artifact, _ = run_offline(args.model, seed=args.seed)
-        _engine, report = medusa_cold_start(args.model, artifact,
-                                            seed=args.seed)
-    else:
-        report = LLMEngine(args.model, strategy, seed=args.seed).cold_start()
+    _engine, report = cold_start_for(args.model, strategy,
+                                     artifact=artifact, seed=args.seed)
     workload = ShareGPTWorkload(rps=args.rps, duration=args.duration,
                                 seed=args.seed)
     simulator = ClusterSimulator(
         ServingCostModel(args.model),
-        SimulationConfig(num_gpus=args.gpus,
-                         cold_start_latency=report.loading_time,
-                         use_cuda_graphs=strategy.uses_cuda_graphs,
-                         deferred_capture=strategy is Strategy.DEFERRED))
+        SimulationConfig.from_report(report, num_gpus=args.gpus))
     metrics = simulator.run(workload.generate(), horizon=args.duration)
     summary = metrics.summary()
     rows = [[key, value] for key, value in sorted(summary.items())]

@@ -15,13 +15,15 @@ the profiling forwarding and 34/35ths of the capture work.
 
 from repro.core.artifact import MaterializedModel
 from repro.core.offline import OfflinePhase, OfflineReport, run_offline
-from repro.core.online import OnlineRestorer, medusa_cold_start
+from repro.core.online import (OnlineRestorer, cold_start_for,
+                               medusa_cold_start)
 
 __all__ = [
     "MaterializedModel",
     "OfflinePhase",
     "OfflineReport",
     "OnlineRestorer",
+    "cold_start_for",
     "medusa_cold_start",
     "run_offline",
 ]

@@ -51,6 +51,38 @@ class OnlineRestorer:
         self._replay_cursor = 0
         self._name_to_address: Dict[str, int] = {}
 
+    def stage_actions(self, engine: LLMEngine) -> Dict[str, object]:
+        """The restore actions Medusa's LoadPlan binds its stages to.
+
+        ``restore_kv`` replaces the profiling-based KV init;
+        ``restore_warmup`` runs the overlappable warm-up window and
+        ``restore_tail`` reports the serial tail measured by the same
+        :meth:`restore_graphs` call (the tail runs immediately after the
+        warm-up; the plan's dependencies place it after every branch).
+        """
+        clock = engine.process.clock
+        measured: Dict[str, float] = {}
+
+        def restore_kv() -> float:
+            start = clock.now
+            self.restore_kv(engine)
+            return clock.now - start
+
+        def restore_warmup() -> float:
+            measured["warmup"], measured["tail"] = self.restore_graphs(engine)
+            return measured["warmup"]
+
+        def restore_tail() -> float:
+            if "tail" not in measured:
+                raise RestorationError(
+                    "restore tail scheduled before the warm-up ran — the "
+                    "plan must order medusa_warmup before medusa_restore")
+            return measured["tail"]
+
+        return {"restore_kv": restore_kv,
+                "restore_warmup": restore_warmup,
+                "restore_tail": restore_tail}
+
     # ------------------------------------------------------------------
     # Stage 1: materialized KV initialization (§6)
     # ------------------------------------------------------------------
@@ -362,3 +394,23 @@ def medusa_cold_start(config, artifact: MaterializedModel, seed: int = 1,
             f"phase is per <GPU type, model type> (§3)")
     report = engine.cold_start(restorer=OnlineRestorer(artifact))
     return engine, report
+
+
+def cold_start_for(config, strategy: Strategy, artifact=None, seed: int = 0,
+                   **engine_kwargs) -> Tuple[LLMEngine, ColdStartReport]:
+    """One cold start under any strategy; returns ``(engine, report)``.
+
+    The single entry point the CLI (and tooling) routes every strategy
+    through: ``MEDUSA`` requires a :class:`MaterializedModel` ``artifact``
+    and goes through :func:`medusa_cold_start`; every other strategy runs
+    a plain :class:`LLMEngine` cold start.
+    """
+    if strategy is Strategy.MEDUSA:
+        if artifact is None:
+            raise RestorationError(
+                "Strategy.MEDUSA requires a materialized artifact "
+                "(run the offline phase first)")
+        return medusa_cold_start(config, artifact, seed=seed,
+                                 **engine_kwargs)
+    engine = LLMEngine(config, strategy, seed=seed, **engine_kwargs)
+    return engine, engine.cold_start()

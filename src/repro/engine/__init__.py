@@ -10,19 +10,30 @@ that distinguishes vLLM, vLLM+ASYNC, and Medusa (Figures 1, 2, 7, 8).
 
 from repro.engine.engine import ColdStartReport, LLMEngine
 from repro.engine.kvcache import BlockManager, KVCacheConfig, KVCacheRegion
+from repro.engine.lanes import Contention, Lane
+from repro.engine.loadplan import LoadPlan, PlanStage
 from repro.engine.pipeline import ScheduledStage, StageTiming, Timeline
 from repro.engine.request import SamplingParams, Sequence, SequenceStatus
 from repro.engine.scheduler import ContinuousBatchingScheduler
 from repro.engine.serving import ServingLoop
-from repro.engine.strategies import Strategy
+from repro.engine.strategies import (
+    Strategy,
+    plan_for,
+    register_plan,
+    registered_plans,
+)
 
 __all__ = [
     "BlockManager",
     "ColdStartReport",
+    "Contention",
     "ContinuousBatchingScheduler",
     "KVCacheConfig",
     "KVCacheRegion",
     "LLMEngine",
+    "Lane",
+    "LoadPlan",
+    "PlanStage",
     "SamplingParams",
     "ScheduledStage",
     "Sequence",
@@ -31,4 +42,7 @@ __all__ = [
     "StageTiming",
     "Strategy",
     "Timeline",
+    "plan_for",
+    "register_plan",
+    "registered_plans",
 ]

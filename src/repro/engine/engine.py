@@ -25,18 +25,16 @@ from repro.engine.kvcache import (
     KVCacheRegion,
     allocate_kv_region,
 )
-from repro.engine.pipeline import (
+from repro.engine.loadplan import (
     CAPTURE,
     KV_INIT,
-    MEDUSA_RESTORE,
-    MEDUSA_WARMUP,
     STRUCTURE,
     TOKENIZER,
     WEIGHTS,
+    LoadPlan,
     Timeline,
-    compose_timeline,
 )
-from repro.engine.strategies import Strategy
+from repro.engine.strategies import Strategy, plan_for
 from repro.errors import EngineError
 from repro.models.config import ModelConfig
 from repro.models.kernels_catalog import build_catalog
@@ -79,15 +77,19 @@ class LLMEngine:
                  cost_model: Optional[CostModel] = None,
                  kv_config: Optional[KVCacheConfig] = None,
                  checkpoints: Optional[CheckpointStore] = None,
-                 capture_batch_sizes=None):
+                 capture_batch_sizes=None,
+                 plan: Optional[LoadPlan] = None):
         """``capture_batch_sizes``: override the batch sizes the capture
-        stage covers (a subset of the config's list); None captures all."""
+        stage covers (a subset of the config's list); None captures all.
+        ``plan``: override the strategy's registered LoadPlan (e.g. a
+        demonstration ordering from ``repro.engine.strategies``)."""
         if isinstance(config, str):
             config = get_model_config(config)
         self.config: ModelConfig = config
         self.capture_batch_sizes = tuple(sorted(capture_batch_sizes)) \
             if capture_batch_sizes is not None else None
         self.strategy = strategy
+        self.plan = plan
         self.cost_model = cost_model or CostModel()
         self.kv_config = kv_config or KVCacheConfig()
         self.checkpoints = checkpoints or CheckpointStore()
@@ -109,34 +111,35 @@ class LLMEngine:
     # ------------------------------------------------------------------
 
     def cold_start(self, restorer=None) -> ColdStartReport:
-        """Run the loading phase under this engine's strategy.
+        """Run the loading phase under this engine's LoadPlan.
 
-        ``restorer`` (Medusa only): an object with ``restore_kv(engine)`` and
-        ``restore_graphs(engine)`` — provided by :mod:`repro.core.online`,
+        The strategy's registered plan (or the constructor's ``plan``
+        override) determines which stage actions run, in which order, and
+        how they are placed on the timeline — the engine holds no
+        per-strategy branching.  ``restorer`` (Medusa only): an object with
+        ``stage_actions(engine)`` — provided by :mod:`repro.core.online`,
         which layers on top of the engine.
         """
         if self._report is not None:
             raise EngineError("cold_start() ran already on this engine")
-        durations: Dict[str, float] = {}
-        durations[STRUCTURE] = self._timed(self._stage_structure_init)
-        durations[WEIGHTS] = self._timed(self._stage_load_weights)
-        durations[TOKENIZER] = self._timed(self._stage_load_tokenizer)
-        if self.strategy is Strategy.MEDUSA:
+        plan = self.plan or plan_for(self.strategy)
+        actions = self._stage_actions(restorer)
+        missing = [stage.action_name for stage in plan.stages
+                   if stage.action_name not in actions]
+        if missing:
             if restorer is None:
                 raise EngineError(
-                    "Strategy.MEDUSA requires a restorer "
-                    "(see repro.core.online.medusa_cold_start)")
-            durations[KV_INIT] = self._timed(lambda: restorer.restore_kv(self))
-            warmup, restore = restorer.restore_graphs(self)
-            durations[MEDUSA_WARMUP] = warmup
-            durations[MEDUSA_RESTORE] = restore
-        else:
-            durations[KV_INIT] = self._timed(self._stage_kv_init)
-            if self.strategy.captures_at_cold_start:
-                durations[CAPTURE] = self._timed(self._stage_capture)
-        timeline = compose_timeline(
-            self.strategy, durations,
-            self.cost_model.weight_kv_interference)
+                    f"plan {plan.name!r} requires a restorer for stage "
+                    f"action(s) {missing} "
+                    f"(see repro.core.online.medusa_cold_start)")
+            raise EngineError(
+                f"plan {plan.name!r} names unknown stage action(s) "
+                f"{missing}; available: {sorted(actions)}")
+        durations: Dict[str, float] = {}
+        for stage in plan.execution_order():
+            durations[stage.name] = actions[stage.action_name]()
+        timeline = plan.schedule(durations, self.cost_model,
+                                 strategy=self.strategy)
         self.process.clock.advance_to(timeline.total)
         self._report = ColdStartReport(
             model=self.config.name,
@@ -158,6 +161,23 @@ class LLMEngine:
         start = self.process.clock.now
         stage_fn()
         return self.process.clock.now - start
+
+    def _stage_actions(self, restorer) -> Dict[str, Callable[[], float]]:
+        """Action name -> side-effecting callable returning its duration.
+
+        Plans reference these by ``PlanStage.action_name``; a restorer
+        contributes its restore actions on top of the engine's own.
+        """
+        actions: Dict[str, Callable[[], float]] = {
+            STRUCTURE: lambda: self._timed(self._stage_structure_init),
+            WEIGHTS: lambda: self._timed(self._stage_load_weights),
+            TOKENIZER: lambda: self._timed(self._stage_load_tokenizer),
+            KV_INIT: lambda: self._timed(self._stage_kv_init),
+            CAPTURE: lambda: self._timed(self._stage_capture),
+        }
+        if restorer is not None:
+            actions.update(restorer.stage_actions(self))
+        return actions
 
     # -- stage implementations ------------------------------------------------
 

@@ -108,55 +108,23 @@ def execute(tasks: Sequence[Task]) -> Schedule:
 
 def strategy_tasks(strategy, durations: Dict[str, float],
                    interference_penalty: float) -> List[Task]:
-    """The task graph each strategy's closed-form timeline models.
+    """The task graph a strategy's LoadPlan describes, as executor tasks.
 
-    Used by tests to check :func:`repro.engine.pipeline.compose_timeline`
-    against the general executor.
+    Derived from the plan registered in :mod:`repro.engine.strategies`
+    (sequential plans chain their stages through dependencies, so the
+    single-lane projection is faithful).  Used by tests to cross-validate
+    the plan scheduler against this independent executor implementation.
     """
-    from repro.engine.pipeline import (
-        CAPTURE,
-        KV_INIT,
-        MEDUSA_RESTORE,
-        MEDUSA_WARMUP,
-        STRUCTURE,
-        TOKENIZER,
-        WEIGHTS,
-    )
-    from repro.engine.strategies import Strategy
+    from repro.engine.lanes import Lane
+    from repro.engine.strategies import plan_for
 
-    def dur(name: str) -> float:
-        return durations.get(name, 0.0)
-
-    if strategy in (Strategy.VLLM, Strategy.NO_CUDA_GRAPH, Strategy.DEFERRED):
-        # Synchronous vLLM: one lane, strict order.
-        order = [STRUCTURE, WEIGHTS, TOKENIZER, KV_INIT]
-        if strategy is Strategy.VLLM:
-            order.append(CAPTURE)
-        tasks = []
-        previous: Tuple[str, ...] = ()
-        for name in order:
-            tasks.append(Task(name, dur(name), CPU, deps=previous))
-            previous = (name,)
-        return tasks
-    if strategy is Strategy.VLLM_ASYNC:
-        weights = dur(WEIGHTS)
-        if dur(KV_INIT) > 0:
-            weights += interference_penalty
-        return [
-            Task(STRUCTURE, dur(STRUCTURE), CPU),
-            Task(WEIGHTS, weights, IO, deps=(STRUCTURE,)),
-            Task(TOKENIZER, dur(TOKENIZER), CPU, deps=(STRUCTURE,)),
-            Task(KV_INIT, dur(KV_INIT), GPU, deps=(TOKENIZER,)),
-            Task(CAPTURE, dur(CAPTURE), GPU, deps=(WEIGHTS, KV_INIT)),
-        ]
-    if strategy is Strategy.MEDUSA:
-        return [
-            Task(STRUCTURE, dur(STRUCTURE), CPU),
-            Task(WEIGHTS, dur(WEIGHTS), IO, deps=(STRUCTURE,)),
-            Task(TOKENIZER, dur(TOKENIZER), CPU, deps=(STRUCTURE,)),
-            Task(KV_INIT, dur(KV_INIT), GPU, deps=(STRUCTURE,)),
-            Task(MEDUSA_WARMUP, dur(MEDUSA_WARMUP), GPU, deps=(KV_INIT,)),
-            Task(MEDUSA_RESTORE, dur(MEDUSA_RESTORE), GPU,
-                 deps=(MEDUSA_WARMUP, WEIGHTS, TOKENIZER)),
-        ]
-    raise EngineError(f"no task graph for strategy {strategy}")
+    lane_map = {Lane.CPU: CPU, Lane.PCIE: IO, Lane.DISK: IO,
+                Lane.GPU_COMPUTE: GPU}
+    tasks: List[Task] = []
+    for stage in plan_for(strategy).stages:
+        duration = durations.get(stage.name, 0.0)
+        if stage.contention is not None and stage.contention.applies(durations):
+            duration += interference_penalty
+        tasks.append(Task(stage.name, duration, lane_map[stage.lane],
+                          deps=stage.deps))
+    return tasks

@@ -1,0 +1,62 @@
+"""Resource lanes and contention declarations for cold-start plans.
+
+The loading-phase stages compete for four physical resources (§2.1, §7.3):
+the host CPU (python-side initialization, tokenizer construction), the GPU
+compute engine (profiling forwarding, warm-up, capture), the PCIe copy path
+(weight H2D streaming), and the SSD/disk read path.  A
+:class:`repro.engine.loadplan.LoadPlan` assigns every stage to one lane;
+the scheduler serializes stages sharing a lane and overlaps stages on
+different lanes, so each strategy's overlap structure follows from lane
+assignments and dependencies instead of hand-written timeline math.
+
+Cross-lane *interference* — e.g. the KV profiling forwarding blocking part
+of the asynchronous H2D weight copies (§7.3's measured +0.08 s) — is
+declared per stage with :class:`Contention` and resolved against the cost
+model (`CostModel.contention_penalty`), not hard-coded in the scheduler.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Lane(enum.Enum):
+    """One serially-executing physical resource of the loading phase."""
+
+    CPU = "cpu"
+    GPU_COMPUTE = "gpu_compute"
+    PCIE = "pcie"
+    DISK = "disk"
+
+    @property
+    def label(self) -> str:
+        """The lane's stable string identity (used in traces/tables)."""
+        return self.value
+
+
+#: Convenience aliases so plan definitions read like schedules.
+CPU = Lane.CPU
+GPU_COMPUTE = Lane.GPU_COMPUTE
+PCIE = Lane.PCIE
+DISK = Lane.DISK
+
+
+@dataclass(frozen=True)
+class Contention:
+    """Declared interference between one stage and a set of partner stages.
+
+    Semantics (matching §7.3's measurement methodology): if *any* partner
+    stage is admitted to the timeline with a nonzero measured duration, the
+    declaring stage's duration is extended once by the penalty resolved
+    from ``penalty_key`` — a pessimistic admission-time model of the
+    average slowdown the paper measured, not a cycle-accurate one.
+    """
+
+    with_stages: Tuple[str, ...]
+    penalty_key: str = "weight_kv_interference"
+
+    def applies(self, durations) -> bool:
+        """Whether any partner stage was admitted with nonzero duration."""
+        return any(durations.get(name, 0.0) > 0 for name in self.with_stages)

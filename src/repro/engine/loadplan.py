@@ -1,0 +1,284 @@
+"""Declarative cold-start stage graphs (LoadPlans) and their scheduler.
+
+The paper's core loading-phase claim (§7.3) is about *reordering and
+overlapping* stages.  Instead of hard-coding each strategy's overlap rules
+in closed-form timeline math, a strategy is expressed as a **LoadPlan**: a
+DAG of :class:`PlanStage` nodes, each declaring its dependencies, the
+resource lane it occupies (:class:`repro.engine.lanes.Lane`), and an
+optional :class:`repro.engine.lanes.Contention` model.  One generic
+scheduler places every plan:
+
+- a stage starts at the later of (its dependencies' completion, its lane's
+  availability) — overlap and bubbles *emerge* from lane assignments;
+- declared contention extends a stage's duration via a cost-model hook
+  (`CostModel.contention_penalty`), replacing the old hard-coded +0.08 s;
+- the critical path is recovered by walking blocking predecessors back
+  from the makespan, and every placed stage carries its lane and an
+  on-critical-path flag — the per-stage trace consumed by
+  `repro.reporting.timeline` and the CLI breakdown table.
+
+New strategies (pipelined restore-while-serving, ServerlessLLM-style
+locality loading, Tangram-style memory reuse) become plan definitions in
+`repro.engine.strategies` — no engine, simulator, or reporting edits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.engine.lanes import Contention, Lane
+from repro.errors import EngineError
+
+#: Canonical stage names, in vanilla execution order.
+STRUCTURE = "structure_init"
+WEIGHTS = "load_weights"
+TOKENIZER = "load_tokenizer"
+KV_INIT = "kv_init"
+CAPTURE = "capture"
+#: Medusa-only stages: the overlappable first-layer warm-up and the serial
+#: restore tail (alloc replay + node fill + module enumeration + instantiate).
+MEDUSA_WARMUP = "medusa_warmup"
+MEDUSA_RESTORE = "medusa_restore"
+
+#: Numerical slack for "these instants coincide" on the critical-path walk.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class PlanStage:
+    """One node of a cold-start stage graph.
+
+    ``action`` names the engine-side callable that executes the stage's
+    side effects (defaults to the stage name); Medusa's plan binds its
+    ``kv_init`` stage to the restorer's ``restore_kv`` action, for example.
+    ``required`` stages must have a measured duration; optional stages
+    default to zero and still occupy a timeline slot (matching the legacy
+    composition's behavior for absent KV/capture durations).
+    """
+
+    name: str
+    lane: Lane
+    deps: Tuple[str, ...] = ()
+    action: str = ""
+    required: bool = False
+    contention: Optional[Contention] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise EngineError("plan stage needs a non-empty name")
+        if not isinstance(self.lane, Lane):
+            raise EngineError(
+                f"stage {self.name!r}: lane must be a Lane, "
+                f"got {self.lane!r}")
+
+    @property
+    def action_name(self) -> str:
+        """The engine action executing this stage (default: the name)."""
+        return self.action or self.name
+
+
+@dataclass(frozen=True)
+class ScheduledStage:
+    """One stage placed on the strategy's timeline."""
+
+    name: str
+    start: float
+    end: float
+    lane: str = ""
+    critical: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """The composed loading-phase schedule of one cold start."""
+
+    strategy: Optional[object]
+    stages: List[ScheduledStage]
+    plan: str = ""
+    _index: Dict[str, ScheduledStage] = field(
+        init=False, repr=False, compare=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._index = {stage.name: stage for stage in self.stages}
+
+    @property
+    def total(self) -> float:
+        return max((stage.end for stage in self.stages), default=0.0)
+
+    def stage(self, name: str) -> ScheduledStage:
+        """O(1) lookup by stage name (stages are indexed once)."""
+        stage = self._index.get(name)
+        if stage is None:
+            available = ", ".join(sorted(self._index)) or "<none>"
+            raise EngineError(
+                f"timeline has no stage {name!r}; available: {available}")
+        return stage
+
+    def bubble(self) -> float:
+        """Idle time on the critical path between overlapped branches."""
+        try:
+            weights = self.stage(WEIGHTS)
+        except EngineError:
+            return 0.0
+        branch_end = max((s.end for s in self.stages
+                          if s.name in (TOKENIZER, KV_INIT, MEDUSA_WARMUP)),
+                         default=weights.end)
+        return max(0.0, branch_end - weights.end)
+
+    def critical_path(self) -> List[ScheduledStage]:
+        """The critical stages, in start-time order."""
+        return sorted((s for s in self.stages if s.critical),
+                      key=lambda s: (s.start, s.end))
+
+
+PenaltySource = Union[Mapping[str, float], object]
+
+
+def _resolve_penalty(penalties: Optional[PenaltySource], key: str) -> float:
+    """Resolve a contention penalty key against a cost model or mapping."""
+    if penalties is not None:
+        resolver = getattr(penalties, "contention_penalty", None)
+        if callable(resolver):
+            return float(resolver(key))
+        if isinstance(penalties, Mapping) and key in penalties:
+            return float(penalties[key])
+    raise EngineError(
+        f"no contention penalty available for key {key!r} "
+        f"(pass a CostModel or a mapping containing it)")
+
+
+@dataclass(frozen=True)
+class LoadPlan:
+    """A declarative cold-start stage graph for one loading strategy."""
+
+    name: str
+    stages: Tuple[PlanStage, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise EngineError(f"plan {self.name!r} declares no stages")
+        seen: Dict[str, PlanStage] = {}
+        for stage in self.stages:
+            if stage.name in seen:
+                raise EngineError(
+                    f"plan {self.name!r}: duplicate stage {stage.name!r}")
+            for dep in stage.deps:
+                if dep == stage.name:
+                    raise EngineError(
+                        f"plan {self.name!r}: stage {stage.name!r} depends "
+                        f"on itself")
+                if dep not in seen:
+                    raise EngineError(
+                        f"plan {self.name!r}: stage {stage.name!r} depends "
+                        f"on {dep!r}, which is not declared before it — "
+                        f"stages must be listed in a topological (and "
+                        f"execution) order")
+            seen[stage.name] = stage
+
+    # -- introspection ------------------------------------------------------
+
+    def stage(self, name: str) -> PlanStage:
+        """The declared stage named ``name``."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        available = ", ".join(s.name for s in self.stages)
+        raise EngineError(
+            f"plan {self.name!r} has no stage {name!r}; "
+            f"available: {available}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(stage.name == name for stage in self.stages)
+
+    def execution_order(self) -> Tuple[PlanStage, ...]:
+        """Stages in side-effect execution order (= declaration order).
+
+        Declaration order is validated to be topological, so executing
+        stages in this order never runs a stage before its dependencies.
+        """
+        return self.stages
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, durations: Mapping[str, float],
+                 penalties: Optional[PenaltySource] = None,
+                 strategy: Optional[object] = None) -> Timeline:
+        """Place measured stage ``durations`` on the wall clock.
+
+        List-schedules the DAG: each stage starts at the later of its
+        dependencies' completion and its lane's availability, so each lane
+        runs one stage at a time and overlap is derived, never asserted.
+        Contention declarations extend the affected stage's duration via
+        ``penalties`` (a ``CostModel`` or a plain mapping).  Returns a
+        :class:`Timeline` whose stages carry lane and critical-path flags.
+        """
+        missing = [stage.name for stage in self.stages
+                   if stage.required and stage.name not in durations]
+        if missing:
+            raise EngineError(f"missing stage durations: {missing}")
+
+        finished: Dict[str, float] = {}
+        lane_free: Dict[Lane, float] = {}
+        placed: List[ScheduledStage] = []
+        blockers: Dict[str, Tuple[str, ...]] = {}
+        lane_prev: Dict[Lane, str] = {}
+        for stage in self.stages:
+            duration = float(durations.get(stage.name, 0.0))
+            if duration < 0:
+                raise EngineError(
+                    f"stage {stage.name!r} has negative duration {duration}")
+            if stage.contention is not None \
+                    and stage.contention.applies(durations):
+                duration += _resolve_penalty(penalties,
+                                             stage.contention.penalty_key)
+            start = max((finished[dep] for dep in stage.deps), default=0.0)
+            start = max(start, lane_free.get(stage.lane, 0.0))
+            end = start + duration
+            finished[stage.name] = end
+            preds = list(stage.deps)
+            if stage.lane in lane_prev:
+                preds.append(lane_prev[stage.lane])
+            blockers[stage.name] = tuple(preds)
+            lane_free[stage.lane] = end
+            lane_prev[stage.lane] = stage.name
+            placed.append(ScheduledStage(stage.name, start, end,
+                                         lane=stage.lane.label))
+        return Timeline(strategy, _mark_critical(placed, blockers),
+                        plan=self.name)
+
+
+def _mark_critical(placed: Sequence[ScheduledStage],
+                   blockers: Mapping[str, Tuple[str, ...]]
+                   ) -> List[ScheduledStage]:
+    """Flag every stage lying on a zero-slack chain ending at the makespan.
+
+    A stage's start always equals some blocking predecessor's end (a
+    dependency or the previous stage on its lane) or zero, so walking those
+    exact-coincidence links backward from the stages that end at the
+    makespan recovers the critical path(s), whose summed durations equal
+    the timeline total by construction.
+    """
+    if not placed:
+        return []
+    by_name = {stage.name: stage for stage in placed}
+    makespan = max(stage.end for stage in placed)
+    critical = {stage.name for stage in placed
+                if abs(stage.end - makespan) <= _EPS}
+    frontier = list(critical)
+    while frontier:
+        name = frontier.pop()
+        stage = by_name[name]
+        for pred_name in blockers.get(name, ()):
+            pred = by_name[pred_name]
+            if pred_name not in critical \
+                    and abs(pred.end - stage.start) <= _EPS:
+                critical.add(pred_name)
+                frontier.append(pred_name)
+    return [ScheduledStage(s.name, s.start, s.end, lane=s.lane,
+                           critical=s.name in critical) for s in placed]

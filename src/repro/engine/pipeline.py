@@ -1,36 +1,36 @@
-"""Loading-phase stage timeline: sequential, async-overlapped, or Medusa.
+"""Loading-phase timeline names and the legacy composition entry point.
 
-The engine *executes* stages sequentially (Python has one thread of side
-effects) while measuring each stage's simulated duration; this module then
-composes those durations into the wall-clock timeline each strategy would
-produce, including:
-
-- the mutual interference between asynchronous weight loading and the KV
-  profiling forwarding (+0.08 s on the weights stage, §7.3);
-- the "bubble" left when the weights stage cannot cover the tokenizer and
-  KV-init stages (§2.4, §7.3);
-- Medusa's reordering, where the first-layer warm-up runs in parallel with
-  weight loading and only the restore tail is serial (§7.3).
+The bespoke per-strategy timeline math that used to live here (closed-form
+sequential/async/Medusa composition with a hard-coded interference
+constant) is **replaced** by the declarative stage graphs in
+:mod:`repro.engine.loadplan` and the per-strategy plans registered in
+:mod:`repro.engine.strategies`.  This module keeps the canonical stage
+names, the :class:`Timeline`/:class:`ScheduledStage` types (now defined in
+``loadplan``), and :func:`compose_timeline` as a thin compatibility shim
+that schedules the strategy's registered LoadPlan — so historical callers
+and tests keep working while producing placements through the one generic
+scheduler.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict
 
-from repro.errors import EngineError
-from repro.engine.strategies import Strategy
-
-#: Canonical stage names, in vanilla execution order.
-STRUCTURE = "structure_init"
-WEIGHTS = "load_weights"
-TOKENIZER = "load_tokenizer"
-KV_INIT = "kv_init"
-CAPTURE = "capture"
-#: Medusa-only stages: the overlappable first-layer warm-up and the serial
-#: restore tail (alloc replay + node fill + module enumeration + instantiate).
-MEDUSA_WARMUP = "medusa_warmup"
-MEDUSA_RESTORE = "medusa_restore"
+from repro.engine.loadplan import (   # noqa: F401  (re-exported names)
+    CAPTURE,
+    KV_INIT,
+    MEDUSA_RESTORE,
+    MEDUSA_WARMUP,
+    STRUCTURE,
+    TOKENIZER,
+    WEIGHTS,
+    LoadPlan,
+    PlanStage,
+    ScheduledStage,
+    Timeline,
+)
+from repro.engine.strategies import Strategy, plan_for
 
 
 @dataclass(frozen=True)
@@ -41,123 +41,16 @@ class StageTiming:
     duration: float
 
 
-@dataclass(frozen=True)
-class ScheduledStage:
-    """One stage placed on the strategy's timeline."""
-
-    name: str
-    start: float
-    end: float
-
-    @property
-    def duration(self) -> float:
-        return self.end - self.start
-
-
-@dataclass
-class Timeline:
-    """The composed loading-phase schedule of one cold start."""
-
-    strategy: Strategy
-    stages: List[ScheduledStage]
-
-    @property
-    def total(self) -> float:
-        return max((stage.end for stage in self.stages), default=0.0)
-
-    def stage(self, name: str) -> ScheduledStage:
-        for stage in self.stages:
-            if stage.name == name:
-                return stage
-        raise EngineError(f"timeline has no stage {name!r}")
-
-    def bubble(self) -> float:
-        """Idle time on the critical path between overlapped branches."""
-        try:
-            weights = self.stage(WEIGHTS)
-        except EngineError:
-            return 0.0
-        branch_end = max((s.end for s in self.stages
-                          if s.name in (TOKENIZER, KV_INIT, MEDUSA_WARMUP)),
-                         default=weights.end)
-        return max(0.0, branch_end - weights.end)
-
-
 def compose_timeline(strategy: Strategy, durations: Dict[str, float],
                      interference_penalty: float) -> Timeline:
-    """Place stage durations on the wall clock according to ``strategy``."""
-    missing = [name for name in (STRUCTURE, WEIGHTS, TOKENIZER)
-               if name not in durations]
-    if missing:
-        raise EngineError(f"missing stage durations: {missing}")
+    """Place stage durations on the wall clock according to ``strategy``.
 
-    if strategy in (Strategy.VLLM, Strategy.NO_CUDA_GRAPH,
-                    Strategy.DEFERRED):
-        return _compose_sequential(strategy, durations)
-    if strategy is Strategy.VLLM_ASYNC:
-        return _compose_async(strategy, durations, interference_penalty)
-    if strategy is Strategy.MEDUSA:
-        return _compose_medusa(strategy, durations)
-    raise EngineError(f"unknown strategy {strategy}")
-
-
-def _compose_sequential(strategy: Strategy,
-                        durations: Dict[str, float]) -> Timeline:
-    order = [STRUCTURE, WEIGHTS, TOKENIZER, KV_INIT]
-    if strategy.captures_at_cold_start:
-        order.append(CAPTURE)
-    stages: List[ScheduledStage] = []
-    clock = 0.0
-    for name in order:
-        duration = durations.get(name, 0.0)
-        stages.append(ScheduledStage(name, clock, clock + duration))
-        clock += duration
-    return Timeline(strategy, stages)
-
-
-def _compose_async(strategy: Strategy, durations: Dict[str, float],
-                   interference_penalty: float) -> Timeline:
-    """Weights (IO) overlap tokenizer (CPU) then KV init (CPU+GPU)."""
-    t0 = durations[STRUCTURE]
-    stages = [ScheduledStage(STRUCTURE, 0.0, t0)]
-    tokenizer_end = t0 + durations[TOKENIZER]
-    stages.append(ScheduledStage(TOKENIZER, t0, tokenizer_end))
-    kv_end = tokenizer_end + durations.get(KV_INIT, 0.0)
-    stages.append(ScheduledStage(KV_INIT, tokenizer_end, kv_end))
-    # The profiling forwarding blocks some of the async H2D copies (§7.3):
-    # the weights stage pays the measured penalty whenever a KV profiling
-    # stage runs concurrently with it at all.
-    weights_duration = durations[WEIGHTS]
-    if durations.get(KV_INIT, 0.0) > 0:
-        weights_duration += interference_penalty
-    weights_end = t0 + weights_duration
-    stages.append(ScheduledStage(WEIGHTS, t0, weights_end))
-    capture_start = max(weights_end, kv_end)
-    capture_end = capture_start + durations.get(CAPTURE, 0.0)
-    stages.append(ScheduledStage(CAPTURE, capture_start, capture_end))
-    return Timeline(strategy, stages)
-
-
-def _compose_medusa(strategy: Strategy,
-                    durations: Dict[str, float]) -> Timeline:
-    """KV restore + first-layer warm-up overlap weights; restore tail serial.
-
-    Medusa reorders KV initialization before weight loading (it no longer
-    profiles, so it does not interfere with the H2D copies), letting the
-    capture-stage warm-up run during the weight load; the restore tail (the
-    part that reads weights-backed state) runs after both finish.
+    .. deprecated:: replaced by ``plan_for(strategy).schedule(...)`` — this
+       shim resolves the strategy's registered LoadPlan and schedules it
+       with ``interference_penalty`` as the only contention penalty, which
+       reproduces the legacy closed-form placements exactly.
     """
-    t0 = durations[STRUCTURE]
-    stages = [ScheduledStage(STRUCTURE, 0.0, t0)]
-    kv_end = t0 + durations.get(KV_INIT, 0.0)
-    stages.append(ScheduledStage(KV_INIT, t0, kv_end))
-    warmup_end = kv_end + durations.get(MEDUSA_WARMUP, 0.0)
-    stages.append(ScheduledStage(MEDUSA_WARMUP, kv_end, warmup_end))
-    weights_end = t0 + durations[WEIGHTS]
-    stages.append(ScheduledStage(WEIGHTS, t0, weights_end))
-    tokenizer_end = t0 + durations[TOKENIZER]
-    stages.append(ScheduledStage(TOKENIZER, t0, tokenizer_end))
-    restore_start = max(warmup_end, weights_end, tokenizer_end)
-    restore_end = restore_start + durations.get(MEDUSA_RESTORE, 0.0)
-    stages.append(ScheduledStage(MEDUSA_RESTORE, restore_start, restore_end))
-    return Timeline(strategy, stages)
+    plan = plan_for(strategy)
+    return plan.schedule(
+        durations, {"weight_kv_interference": interference_penalty},
+        strategy=strategy)

@@ -1,4 +1,4 @@
-"""The compared cold-start strategies (paper §7).
+"""The compared cold-start strategies (paper §7) and their LoadPlans.
 
 - ``VLLM``: vanilla vLLM — every loading stage runs synchronously.
 - ``VLLM_ASYNC``: vLLM plus naive asynchronous weight loading — the weights
@@ -13,11 +13,33 @@
   capture is removed from the cold start and performed lazily, per batch
   size, on the first request batch that needs it.  The capture latency is
   not eliminated, merely delayed and dispersed across serving requests.
+
+Each strategy's *schedule* is a declarative
+:class:`repro.engine.loadplan.LoadPlan` registered here: a DAG of stages
+with resource lanes and contention declarations, placed by the generic
+lane scheduler.  New orderings (e.g. the demonstration
+``vllm-eager-tokenizer`` plan below, or future ServerlessLLM/Tangram-style
+loading) are pure plan definitions — no engine or scheduler edits.
 """
 
 from __future__ import annotations
 
 import enum
+from typing import Dict, Optional, Union
+
+from repro.engine.lanes import CPU, DISK, GPU_COMPUTE, PCIE, Contention
+from repro.engine.loadplan import (
+    CAPTURE,
+    KV_INIT,
+    MEDUSA_RESTORE,
+    MEDUSA_WARMUP,
+    STRUCTURE,
+    TOKENIZER,
+    WEIGHTS,
+    LoadPlan,
+    PlanStage,
+)
+from repro.errors import EngineError
 
 
 class Strategy(enum.Enum):
@@ -40,3 +62,129 @@ class Strategy(enum.Enum):
     @property
     def label(self) -> str:
         return self.value
+
+
+# ---------------------------------------------------------------------------
+# Plan registry
+# ---------------------------------------------------------------------------
+
+_PLANS: Dict[str, LoadPlan] = {}
+_STRATEGY_PLANS: Dict[Strategy, str] = {}
+
+
+def register_plan(plan: LoadPlan,
+                  strategy: Optional[Strategy] = None) -> LoadPlan:
+    """Register ``plan`` by name (and optionally as a strategy's default)."""
+    if plan.name in _PLANS:
+        raise EngineError(f"a plan named {plan.name!r} is already registered")
+    _PLANS[plan.name] = plan
+    if strategy is not None:
+        _STRATEGY_PLANS[strategy] = plan.name
+    return plan
+
+
+def plan_for(key: Union[Strategy, str]) -> LoadPlan:
+    """The registered LoadPlan for a strategy or a plan name."""
+    if isinstance(key, Strategy):
+        name = _STRATEGY_PLANS.get(key)
+        if name is None:
+            raise EngineError(f"strategy {key} has no registered LoadPlan")
+        return _PLANS[name]
+    plan = _PLANS.get(key)
+    if plan is None:
+        available = ", ".join(sorted(_PLANS)) or "<none>"
+        raise EngineError(f"no LoadPlan named {key!r}; available: {available}")
+    return plan
+
+
+def registered_plans() -> Dict[str, LoadPlan]:
+    """A copy of the plan registry (name -> LoadPlan)."""
+    return dict(_PLANS)
+
+
+# ---------------------------------------------------------------------------
+# The strategies' plans.  Declaration order is both the side-effect
+# execution order and a topological order of the DAG.
+# ---------------------------------------------------------------------------
+
+def _sequential_plan(name: str, with_capture: bool,
+                     description: str) -> LoadPlan:
+    """Fully serialized loading: each stage depends on the previous one."""
+    order = [
+        PlanStage(STRUCTURE, CPU, required=True),
+        PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True),
+        PlanStage(TOKENIZER, CPU, deps=(WEIGHTS,), required=True),
+        PlanStage(KV_INIT, GPU_COMPUTE, deps=(TOKENIZER,)),
+    ]
+    if with_capture:
+        order.append(PlanStage(CAPTURE, GPU_COMPUTE, deps=(KV_INIT,)))
+    return LoadPlan(name, tuple(order), description=description)
+
+
+VLLM_PLAN = register_plan(_sequential_plan(
+    "vllm", with_capture=True,
+    description="Vanilla vLLM: five synchronous stages (§2.1)."),
+    strategy=Strategy.VLLM)
+
+NO_CUDA_GRAPH_PLAN = register_plan(_sequential_plan(
+    "no-cuda-graph", with_capture=False,
+    description="Synchronous loading without the capture stage (Fig. 10)."),
+    strategy=Strategy.NO_CUDA_GRAPH)
+
+DEFERRED_PLAN = register_plan(_sequential_plan(
+    "deferred", with_capture=False,
+    description="§2.4: capture is deferred onto the serving path."),
+    strategy=Strategy.DEFERRED)
+
+#: Weights stream over PCIe while the CPU loads the tokenizer and the GPU
+#: runs the profiling forwarding; the profiling interferes with the copies
+#: (the declared contention), and capture must wait for both branches.
+VLLM_ASYNC_PLAN = register_plan(LoadPlan(
+    "vllm-async",
+    (
+        PlanStage(STRUCTURE, CPU, required=True),
+        PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True,
+                  contention=Contention((KV_INIT,),
+                                        "weight_kv_interference")),
+        PlanStage(TOKENIZER, CPU, deps=(STRUCTURE,), required=True),
+        PlanStage(KV_INIT, GPU_COMPUTE, deps=(TOKENIZER,)),
+        PlanStage(CAPTURE, GPU_COMPUTE, deps=(WEIGHTS, KV_INIT)),
+    ),
+    description="vLLM + naive asynchronous weight loading (§7.3)."),
+    strategy=Strategy.VLLM_ASYNC)
+
+#: Medusa reorders KV initialization before weight loading (restored, so it
+#: no longer profiles or interferes), warms up the first layer during the
+#: weight load, and only the restore tail — which reads weights-backed
+#: state — is serial after every branch (§7.3).
+MEDUSA_PLAN = register_plan(LoadPlan(
+    "medusa",
+    (
+        PlanStage(STRUCTURE, CPU, required=True),
+        PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True),
+        PlanStage(TOKENIZER, CPU, deps=(STRUCTURE,), required=True),
+        PlanStage(KV_INIT, GPU_COMPUTE, deps=(STRUCTURE,),
+                  action="restore_kv"),
+        PlanStage(MEDUSA_WARMUP, GPU_COMPUTE, deps=(KV_INIT,),
+                  action="restore_warmup"),
+        PlanStage(MEDUSA_RESTORE, GPU_COMPUTE,
+                  deps=(MEDUSA_WARMUP, WEIGHTS, TOKENIZER),
+                  action="restore_tail"),
+    ),
+    description="Materialized restore: KV + graphs from the artifact (§3)."),
+    strategy=Strategy.MEDUSA)
+
+#: Demonstration plan (not tied to a Strategy): the tokenizer is a pure
+#: disk/CPU-parse stage with no dependency on the model structure, so it
+#: can overlap structure initialization — a one-plan addition showing new
+#: orderings need no engine, scheduler, or reporting edits.
+EAGER_TOKENIZER_PLAN = register_plan(LoadPlan(
+    "vllm-eager-tokenizer",
+    (
+        PlanStage(STRUCTURE, CPU, required=True),
+        PlanStage(TOKENIZER, DISK, required=True),
+        PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True),
+        PlanStage(KV_INIT, GPU_COMPUTE, deps=(WEIGHTS, TOKENIZER)),
+        PlanStage(CAPTURE, GPU_COMPUTE, deps=(KV_INIT,)),
+    ),
+    description="vLLM with the tokenizer overlapping structure init."))

@@ -4,8 +4,9 @@ from repro.reporting.figures import horizontal_bars, stacked_bars
 from repro.reporting.tables import (
     format_diagnostics,
     format_series,
+    format_stage_breakdown,
     format_table,
 )
 
-__all__ = ["format_diagnostics", "format_series", "format_table",
-           "horizontal_bars", "stacked_bars"]
+__all__ = ["format_diagnostics", "format_series", "format_stage_breakdown",
+           "format_table", "horizontal_bars", "stacked_bars"]

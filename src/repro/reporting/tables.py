@@ -56,6 +56,20 @@ def format_diagnostics(title: str, diagnostics: Sequence) -> str:
                         rows)
 
 
+def format_stage_breakdown(title: str, timeline) -> str:
+    """Render a cold-start timeline's per-stage schedule as one table.
+
+    One row per scheduled stage: name, resource lane, start/end (simulated
+    seconds), and whether the stage lies on the critical path — the
+    LoadPlan trace surfaced in the ``repro coldstart``/``restore`` tables.
+    """
+    rows = [[stage.name, stage.lane or "-", stage.start, stage.end,
+             "*" if stage.critical else ""]
+            for stage in timeline.stages]
+    return format_table(
+        title, ["stage", "lane", "start (s)", "end (s)", "critical"], rows)
+
+
 def format_series(title: str, series: Dict[str, Sequence[Cell]],
                   x_label: str, x_values: Sequence[Cell]) -> str:
     """A figure rendered as one column per line (x plus one column/series)."""

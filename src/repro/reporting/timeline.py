@@ -2,9 +2,10 @@
 
 The paper inspects stage overlap with NVIDIA Nsight Systems (§7.3); the
 closest open equivalent for this reproduction is the Chrome trace-event
-format (``chrome://tracing`` / Perfetto).  Each strategy's composed loading
-timeline becomes one track of complete events, so the async overlap, the
-bubble, and Medusa's warm-up/restore split are visually inspectable.
+format (``chrome://tracing`` / Perfetto).  Each strategy's scheduled
+LoadPlan timeline becomes one track of complete events per resource lane,
+so the async overlap, the bubble, and Medusa's warm-up/restore split are
+visually inspectable.
 """
 
 from __future__ import annotations
@@ -13,8 +14,17 @@ import json
 from typing import Dict, List, Sequence
 
 from repro.engine.engine import ColdStartReport
+from repro.engine.lanes import Lane
 
-#: Track rows: stages sharing a resource share a thread id.
+#: Track rows: stages on the same resource lane share a thread id.
+_LANE_TRACKS = {
+    Lane.CPU.value: 1,
+    Lane.PCIE.value: 2,
+    Lane.DISK.value: 2,     # IO (SSD -> host -> device) shares the PCIe row
+    Lane.GPU_COMPUTE.value: 3,
+}
+
+#: Fallback for legacy timelines whose stages carry no lane annotation.
 _RESOURCE_TRACKS = {
     "structure_init": 1,   # CPU
     "load_tokenizer": 1,   # CPU
@@ -28,9 +38,21 @@ _RESOURCE_TRACKS = {
 _MICRO = 1_000_000
 
 
+def _track(stage) -> int:
+    lane = getattr(stage, "lane", "")
+    if lane in _LANE_TRACKS:
+        return _LANE_TRACKS[lane]
+    return _RESOURCE_TRACKS.get(stage.name, 9)
+
+
 def to_trace_events(report: ColdStartReport,
                     pid: int = 0) -> List[Dict]:
-    """The report's timeline as Chrome 'X' (complete) events."""
+    """The report's timeline as Chrome 'X' (complete) events.
+
+    Each event's ``args`` carries the stage's resource lane and whether
+    the scheduler placed it on the cold start's critical path, so the
+    Perfetto view answers "what would shrinking this stage buy?" directly.
+    """
     events: List[Dict] = [{
         "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
         "args": {"name": f"{report.model} / {report.strategy.label}"},
@@ -42,10 +64,12 @@ def to_trace_events(report: ColdStartReport,
             "name": stage.name,
             "ph": "X",
             "pid": pid,
-            "tid": _RESOURCE_TRACKS.get(stage.name, 9),
+            "tid": _track(stage),
             "ts": stage.start * _MICRO,
             "dur": stage.duration * _MICRO,
-            "args": {"seconds": round(stage.duration, 6)},
+            "args": {"seconds": round(stage.duration, 6),
+                     "lane": getattr(stage, "lane", "") or "unknown",
+                     "critical": bool(getattr(stage, "critical", False))},
         })
     return events
 

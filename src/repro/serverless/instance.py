@@ -15,9 +15,39 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 from collections import deque
 
+from repro.engine.strategies import Strategy
 from repro.errors import SchedulingError
 from repro.serverless.costs import ServingCostModel
 from repro.serverless.workload import Request
+
+
+@dataclass(frozen=True)
+class ColdStartProfile:
+    """The strategy-agnostic cold-start description the simulator consumes.
+
+    Derived once from a :class:`repro.engine.ColdStartReport` (i.e. from a
+    scheduled LoadPlan): the loading-phase latency an instance pays before
+    becoming ready, the serving flags the strategy implies, and the
+    scheduled stage timeline for per-stage introspection/tracing.  The one
+    interface between cold-start plans and the cluster simulation — new
+    strategies reach the simulator without touching it.
+    """
+
+    loading_time: float
+    use_cuda_graphs: bool = True
+    deferred_capture: bool = False   # §2.4: capture lazily while serving
+    timeline: Optional[object] = None   # repro.engine.Timeline, if known
+
+    @classmethod
+    def from_report(cls, report) -> "ColdStartProfile":
+        """Build the profile from one engine ``ColdStartReport``."""
+        strategy = report.strategy
+        return cls(
+            loading_time=report.loading_time,
+            use_cuda_graphs=strategy.uses_cuda_graphs,
+            deferred_capture=strategy is Strategy.DEFERRED,
+            timeline=report.timeline,
+        )
 
 
 @dataclass(frozen=True)
@@ -61,10 +91,12 @@ class Instance:
     _ids = itertools.count()
 
     def __init__(self, costs: ServingCostModel, config: InstanceConfig,
-                 launched_at: float, cold_start_latency: float):
+                 launched_at: float, cold_start_latency: float,
+                 profile: Optional[ColdStartProfile] = None):
         self.instance_id = next(Instance._ids)
         self.costs = costs
         self.config = config
+        self.profile = profile       # the cold-start plan trace, if known
         self.launched_at = launched_at
         self.ready_at = launched_at + cold_start_latency
         self.waiting: Deque[Request] = deque()

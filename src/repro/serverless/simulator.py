@@ -18,7 +18,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import InvalidValueError, SchedulingError
 from repro.serverless.costs import ServingCostModel
-from repro.serverless.instance import Instance, InstanceConfig
+from repro.serverless.instance import (
+    ColdStartProfile,
+    Instance,
+    InstanceConfig,
+)
 from repro.serverless.metrics import SimulationMetrics
 from repro.serverless.workload import Request
 
@@ -40,6 +44,7 @@ class SimulationConfig:
     hot_spares: int = 0                   # §2.4: always-on warm instances
     keep_alive: float = 20.0              # idle seconds before retiring
     drain: bool = True                    # serve queued work past the horizon
+    profile: Optional[ColdStartProfile] = None   # plan trace, if derived
 
     def __post_init__(self) -> None:
         if self.num_gpus <= 0:
@@ -47,6 +52,21 @@ class SimulationConfig:
         if self.initial_instances + self.hot_spares > self.num_gpus:
             raise InvalidValueError(
                 "initial_instances + hot_spares cannot exceed num_gpus")
+
+    @classmethod
+    def from_report(cls, report, **overrides) -> "SimulationConfig":
+        """Derive the strategy-dependent fields from one cold start.
+
+        Routes every consumer (the CLI, benchmarks, tooling) through the
+        scheduled LoadPlan's :class:`ColdStartProfile` instead of
+        hand-copying per-strategy flags; ``overrides`` set the remaining
+        scenario fields (``num_gpus``, ``hot_spares``, ...).
+        """
+        profile = ColdStartProfile.from_report(report)
+        return cls(cold_start_latency=profile.loading_time,
+                   use_cuda_graphs=profile.use_cuda_graphs,
+                   deferred_capture=profile.deferred_capture,
+                   profile=profile, **overrides)
 
 
 class ClusterSimulator:
@@ -82,6 +102,7 @@ class ClusterSimulator:
                 deferred_capture=self.config.deferred_capture),
             launched_at=now,
             cold_start_latency=latency,
+            profile=self.config.profile,
         )
         instance.hot_spare = hot_spare
         self.instances.append(instance)

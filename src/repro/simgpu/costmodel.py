@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import InvalidValueError
+
 
 @dataclass(frozen=True)
 class GpuProperties:
@@ -95,6 +97,20 @@ class CostModel:
     # ----------------------------------------------------------------------
     # Derived formulas
     # ----------------------------------------------------------------------
+
+    def contention_penalty(self, key: str) -> float:
+        """Resolve a LoadPlan contention-penalty key to its constant.
+
+        Cold-start plans declare cross-lane interference symbolically
+        (e.g. ``"weight_kv_interference"``); the scheduler resolves the
+        key through this hook so the penalty stays a calibrated cost-model
+        constant rather than a number baked into a plan.
+        """
+        value = getattr(self, key, None)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise InvalidValueError(
+                f"cost model has no contention penalty named {key!r}")
+        return float(value)
 
     def structure_init_time(self, param_bytes: int) -> float:
         """Stage 1: instantiate model structure + allocate weight tensors."""

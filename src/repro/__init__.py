@@ -14,6 +14,9 @@ Public API tour:
   index pointers, copy-free contents classification, kernel name tables)
   and online restoration (allocation replay, first-layer triggering,
   module enumeration), plus output validation;
+- :mod:`repro.faults` -- deterministic fault injection for every layer the
+  restore crosses, plus the graceful-degradation ladder (partial ->
+  recapture -> eager) that keeps a faulted cold start serving;
 - :mod:`repro.serverless` -- the discrete-event cluster simulator producing
   the paper's TTFT tail / throughput figures.
 
@@ -38,6 +41,15 @@ from repro.core import (
 )
 from repro.core.validation import validate_restoration
 from repro.engine import ColdStartReport, LLMEngine, Strategy
+from repro.faults import (
+    DegradationPolicy,
+    DegradationReport,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    Rung,
+)
 from repro.models import (
     PAPER_MODELS,
     TINY_MODELS,
@@ -61,9 +73,16 @@ __all__ = [
     "ColdStartReport",
     "CostModel",
     "CudaProcess",
+    "DegradationPolicy",
+    "DegradationReport",
     "ExecutionMode",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "GpuProperties",
     "LLMEngine",
+    "Rung",
     "MaterializedModel",
     "Model",
     "ModelConfig",

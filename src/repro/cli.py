@@ -13,7 +13,10 @@ Mirrors the original artifact's scripts (`scripts/serverless_llm.py
 
 ``lint`` and ``validate`` share the CI-friendly exit-code convention:
 0 = clean/passed, 1 = diagnostics found or outputs diverged, 2 = the
-artifact could not be read at all.
+artifact could not be read at all.  With ``validate --degraded-ok`` a
+restore that walked the degradation ladder but still serves correct
+outputs exits 3 — distinguishable from both a clean pass and a hard
+failure.
 """
 
 from __future__ import annotations
@@ -97,6 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--json", action="store_true",
                           help="emit the result as JSON")
     validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--degraded-ok", action="store_true",
+                          help="tolerate restore faults via the degradation "
+                               "ladder; exit 3 when the engine serves on a "
+                               "lower rung instead of failing with 1")
 
     restore = sub.add_parser("restore", help="Medusa online cold start")
     restore.add_argument("--model", required=True)
@@ -137,6 +144,10 @@ def _print_report(report) -> None:
     print(format_table(
         f"Cold start: {report.model} under {report.strategy.label}",
         ["stage", "simulated seconds"], rows))
+    degradation = getattr(report, "degradation", None)
+    if degradation is not None:
+        print(f"degraded cold start: rung {degradation.rung_name!r} — "
+              f"{degradation.describe()}")
     print()
     print(format_stage_breakdown(
         f"Stage schedule (plan: {report.timeline.plan or 'legacy'})",
@@ -218,8 +229,13 @@ def _cmd_validate(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     model = args.model or artifact.model_name
+    policy = None
+    if getattr(args, "degraded_ok", False):
+        from repro.faults import DegradationPolicy
+        policy = DegradationPolicy(verify_dumps=True, verify_outputs=True)
     try:
-        result = validate_restoration(model, artifact, seed=args.seed + 1)
+        result = validate_restoration(model, artifact, seed=args.seed + 1,
+                                      policy=policy)
     except MaterializationError as exc:
         if args.json:
             print(_json.dumps({"model": model, "passed": False,
@@ -228,20 +244,31 @@ def _cmd_validate(args) -> int:
             print(f"validation: FAILED — {exc}", file=sys.stderr)
         return 1
     if args.json:
-        print(_json.dumps({
+        payload = {
             "model": result.model,
             "passed": result.passed,
             "batches_checked": result.batches_checked,
             "max_abs_error": result.max_abs_error,
             "diagnostics": [d.to_dict() for d in result.diagnostics],
-        }, indent=2))
+        }
+        if result.degradation is not None:
+            payload["degradation"] = result.degradation.to_dict()
+        print(_json.dumps(payload, indent=2))
     else:
         print(f"validation: PASSED on batches {result.batches_checked} "
               f"(max abs error {result.max_abs_error})")
+        if result.degraded:
+            print(f"degradation: served on the "
+                  f"{result.degradation.rung_name!r} rung — "
+                  f"{result.degradation.describe()}")
         if result.diagnostics:
             print(format_diagnostics("Static diagnostics",
                                      result.diagnostics))
-    return 0 if result.passed and not result.diagnostics else 1
+    if not result.passed:
+        return 1
+    if policy is not None and (result.degraded or result.diagnostics):
+        return 3   # degraded but serving (correct outputs on a lower rung)
+    return 0 if not result.diagnostics else 1
 
 
 def _cmd_simulate(args) -> int:

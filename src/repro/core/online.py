@@ -29,11 +29,34 @@ import numpy as np
 
 from repro.core.artifact import MaterializedModel, MaterializedNode, ReplayEvent
 from repro.core.pointer_analysis import CONST, POINTER
-from repro.engine.capture_runner import CaptureArtifacts
+from repro.engine.capture_runner import (
+    CaptureArtifacts,
+    capture_one,
+    prepare_capture_stage,
+    run_capture_stage,
+)
 from repro.engine.engine import ColdStartReport, LLMEngine
 from repro.engine.kvcache import BlockManager, KVCacheConfig, KVCacheRegion
 from repro.engine.strategies import Strategy
-from repro.errors import RestorationError, SymbolNotFoundError
+from repro.errors import (
+    CudaError,
+    MaterializationError,
+    ModuleNotLoadedError,
+    RestorationError,
+    SymbolNotFoundError,
+    TriggerTimeoutError,
+)
+from repro.faults.ladder import (
+    DEGRADE_EAGER,
+    DEGRADE_KV_PROFILE,
+    DEGRADE_PARTIAL,
+    DEGRADE_RECAPTURE,
+    RESTORE_VERIFY,
+    DegradationPolicy,
+    DegradationReport,
+    LadderStep,
+    Rung,
+)
 from repro.models.zoo import get_model_config
 from repro.simgpu.costmodel import CostModel
 from repro.simgpu.graph import CudaGraph, CudaGraphNode, GraphExecMeta
@@ -41,15 +64,46 @@ from repro.simgpu.kernels import PAYLOAD_DIM, KernelParam
 from repro.simgpu.memory import Buffer
 from repro.simgpu.process import CudaProcess, ExecutionMode
 
+#: What the degradation ladder may catch and recover from: Medusa-level
+#: restore failures and realistic driver/runtime errors.  Engine-level
+#: errors (mis-wired plans, exhausted KV budgets) still propagate.
+_LADDER_ERRORS = (MaterializationError, CudaError)
+
 
 class OnlineRestorer:
-    """Restores one materialized model into a fresh process."""
+    """Restores one materialized model into a fresh process.
 
-    def __init__(self, artifact: MaterializedModel):
+    ``injector``: optional :class:`repro.faults.FaultInjector` whose faults
+    fire at this restorer's injection sites (chaos testing).
+    ``policy``: optional :class:`repro.faults.DegradationPolicy`.  When set,
+    restore failures walk the degradation ladder (partial → recapture →
+    eager) instead of killing the cold start; when ``None`` (the default)
+    every failure propagates exactly as before.
+    """
+
+    def __init__(self, artifact: MaterializedModel,
+                 injector=None,
+                 policy: Optional[DegradationPolicy] = None):
+        active = injector is not None and injector.active
+        if active:
+            injector.prepare(artifact)
+            artifact = injector.corrupted_artifact(artifact)
         self.artifact = artifact
+        self.injector = injector if active else None
+        self.policy = policy
+        self.degradation = DegradationReport()
+        self._verify_dumps = policy is not None and (
+            policy.verify_dumps if policy.verify_dumps is not None
+            else active)
+        self._verify_outputs = policy is not None and (
+            policy.verify_outputs if policy.verify_outputs is not None
+            else active)
         self._buffers: Dict[int, Buffer] = {}
         self._replay_cursor = 0
         self._name_to_address: Dict[str, int] = {}
+        self._kv_broken = False
+        self._warmup_ok = False
+        self._warm: Optional[Tuple[Buffer, Buffer, CudaGraph]] = None
 
     def stage_actions(self, engine: LLMEngine) -> Dict[str, object]:
         """The restore actions Medusa's LoadPlan binds its stages to.
@@ -59,7 +113,17 @@ class OnlineRestorer:
         ``restore_tail`` reports the serial tail measured by the same
         :meth:`restore_graphs` call (the tail runs immediately after the
         warm-up; the plan's dependencies place it after every branch).
+
+        With a :class:`DegradationPolicy`, each action additionally catches
+        restore faults and records ladder steps; the tail action finishes by
+        resolving the ladder (drop / recapture / eager capture) so the
+        engine always leaves the cold start able to serve.
         """
+        if self.policy is None:
+            return self._strict_stage_actions(engine)
+        return self._ladder_stage_actions(engine)
+
+    def _strict_stage_actions(self, engine: LLMEngine) -> Dict[str, object]:
         clock = engine.process.clock
         measured: Dict[str, float] = {}
 
@@ -78,6 +142,65 @@ class OnlineRestorer:
                     "restore tail scheduled before the warm-up ran — the "
                     "plan must order medusa_warmup before medusa_restore")
             return measured["tail"]
+
+        return {"restore_kv": restore_kv,
+                "restore_warmup": restore_warmup,
+                "restore_tail": restore_tail}
+
+    # ------------------------------------------------------------------
+    # Ladder-aware stage actions (policy set)
+    # ------------------------------------------------------------------
+
+    def _ladder_stage_actions(self, engine: LLMEngine) -> Dict[str, object]:
+        clock = engine.process.clock
+
+        def restore_kv() -> float:
+            start = clock.now
+            try:
+                self.restore_kv(engine)
+            except _LADDER_ERRORS as exc:
+                base = clock.now - start
+                self.degradation.note_failure("kv_restore", exc)
+                self._kv_broken = True
+                fallback_start = clock.now
+                engine.adopt_kv_bytes(engine.profile_available_kv_bytes())
+                self.degradation.record(LadderStep(
+                    rung=Rung.EAGER, stage=DEGRADE_KV_PROFILE,
+                    reason="allocation replay broke before the KV region; "
+                           "re-profiled KV sizing eagerly",
+                    duration=clock.now - fallback_start))
+                return base
+            return clock.now - start
+
+        def restore_warmup() -> float:
+            if self._kv_broken:
+                return 0.0
+            start = clock.now
+            try:
+                self._warm = self._run_warmup(engine)
+                self._warmup_ok = True
+            except _LADDER_ERRORS as exc:
+                self.degradation.note_failure("warmup", exc)
+                stream = engine.process.default_stream
+                if stream.is_capturing:
+                    stream.end_capture()   # abandon the half-built capture
+            return clock.now - start
+
+        def restore_tail() -> float:
+            start = clock.now
+            artifacts: Optional[CaptureArtifacts] = None
+            poisoned: set = set()
+            if self._warmup_ok:
+                try:
+                    artifacts, poisoned = self._run_tail_tolerant(
+                        engine, self._warm)
+                except _LADDER_ERRORS as exc:
+                    self.degradation.note_failure("restore_tail", exc)
+                    artifacts, poisoned = None, set(self.artifact.graphs)
+            base = clock.now - start
+            poisoned |= self._verify_restored(engine, artifacts)
+            self._resolve_ladder(engine, artifacts, poisoned)
+            return base
 
         return {"restore_kv": restore_kv,
                 "restore_warmup": restore_warmup,
@@ -132,13 +255,23 @@ class OnlineRestorer:
 
     def restore_graphs(self, engine: LLMEngine) -> Tuple[float, float]:
         """Returns (warm-up duration, serial restore duration)."""
+        clock = engine.process.clock
+        warmup_start = clock.now
+        warm = self._run_warmup(engine)
+        warmup_duration = clock.now - warmup_start
+        restore_start = clock.now
+        self._run_tail_strict(engine, warm)
+        restore_duration = clock.now - restore_start
+        return warmup_duration, restore_duration
+
+    def _run_warmup(self, engine: LLMEngine
+                    ) -> Tuple[Buffer, Buffer, CudaGraph]:
+        """The overlappable warm-up window: finish the allocation replay,
+        restore permanent contents, warm up + capture the first layer."""
         artifact = self.artifact
         process = engine.process
         cm = engine.cost_model
         clock = process.clock
-
-        # -- overlappable warm-up window ---------------------------------
-        warmup_start = clock.now
         consumed = self._replay_until(process, stop_alloc_index=None)
         clock.advance(cm.alloc_replay_per_event * consumed)
         self._restore_permanent_contents()
@@ -153,10 +286,15 @@ class OnlineRestorer:
             self._launch_first_layer(engine, batch_size)
         self._run_trigger_plans(engine)
         first_layer_graph = self._capture_first_layer(engine, batch_order[0])
-        warmup_duration = clock.now - warmup_start
+        return graph_input, graph_output, first_layer_graph
 
-        # -- serial restore tail --------------------------------------------
-        restore_start = clock.now
+    def _run_tail_strict(self, engine: LLMEngine, warm) -> None:
+        """The serial restore tail: address table, fill, instantiate."""
+        artifact = self.artifact
+        process = engine.process
+        cm = engine.cost_model
+        clock = process.clock
+        graph_input, graph_output, first_layer_graph = warm
         clock.advance(cm.artifact_load_base
                       + cm.artifact_deserialize_per_node * artifact.total_nodes)
         self._build_address_table(engine, first_layer_graph)
@@ -165,15 +303,167 @@ class OnlineRestorer:
             graph_output=graph_output,
             capture_marker=artifact.capture_marker,
         )
-        for batch_size in batch_order:
+        for batch_size in sorted(artifact.graphs, reverse=True):
             materialized = artifact.graph(batch_size)
             graph = self._assemble_graph(engine, materialized)
             capture_artifacts.graphs[batch_size] = graph
             capture_artifacts.execs[batch_size] = graph.instantiate(process)
         clock.advance(cm.restore_fill_per_node * artifact.total_nodes)
         engine.capture_artifacts = capture_artifacts
-        restore_duration = clock.now - restore_start
-        return warmup_duration, restore_duration
+
+    def _run_tail_tolerant(self, engine: LLMEngine, warm
+                           ) -> Tuple[CaptureArtifacts, set]:
+        """The restore tail, per-graph fault isolation (ladder mode).
+
+        Unresolvable kernels and per-graph assembly failures poison only
+        the batch sizes they touch; every other graph restores normally.
+        Returns ``(capture_artifacts, poisoned batch sizes)``.
+        """
+        artifact = self.artifact
+        process = engine.process
+        cm = engine.cost_model
+        clock = process.clock
+        graph_input, graph_output, first_layer_graph = warm
+        clock.advance(cm.artifact_load_base
+                      + cm.artifact_deserialize_per_node * artifact.total_nodes)
+        unresolved = self._build_address_table(engine, first_layer_graph,
+                                               tolerate=True)
+        if unresolved:
+            self.degradation.note_failure(
+                "address_table",
+                RestorationError(f"unresolved kernel address(es): "
+                                 f"{sorted(unresolved)}"))
+        capture_artifacts = CaptureArtifacts(
+            graph_input=graph_input,
+            graph_output=graph_output,
+            capture_marker=artifact.capture_marker,
+        )
+        poisoned: set = set()
+        for batch_size in sorted(artifact.graphs, reverse=True):
+            materialized = artifact.graph(batch_size)
+            if unresolved & {n.kernel_name for n in materialized.nodes}:
+                poisoned.add(batch_size)
+                continue
+            try:
+                graph = self._assemble_graph(engine, materialized)
+                capture_artifacts.graphs[batch_size] = graph
+                capture_artifacts.execs[batch_size] = \
+                    graph.instantiate(process)
+            except _LADDER_ERRORS as exc:
+                self.degradation.note_failure(
+                    f"assemble batch {batch_size}", exc)
+                capture_artifacts.graphs.pop(batch_size, None)
+                capture_artifacts.execs.pop(batch_size, None)
+                poisoned.add(batch_size)
+        clock.advance(cm.restore_fill_per_node * artifact.total_nodes)
+        engine.capture_artifacts = capture_artifacts
+        return capture_artifacts, poisoned
+
+    # -- ladder resolution (policy set) ------------------------------------------
+
+    def _verify_restored(self, engine: LLMEngine,
+                         artifacts: Optional[CaptureArtifacts]) -> set:
+        """Output-oracle verification of every restored graph (§4).
+
+        Replays each restored graph against an eager forwarding over
+        identical inputs and KV state; mismatching batch sizes are poisoned
+        and dropped.  COMPUTE mode only (the oracle is a real forwarding);
+        recorded as its own ``restore_verify`` timeline stage.
+        """
+        if (not self._verify_outputs
+                or engine.process.mode is not ExecutionMode.COMPUTE
+                or artifacts is None or not artifacts.execs
+                or engine.kv_region is None):
+            return set()
+        clock = engine.process.clock
+        start = clock.now
+        ctx = artifacts.context(engine.kv_region)
+        bad: set = set()
+        batches = sorted(artifacts.execs)
+        # Settle one-time eager-path state (workspace setup) first, so the
+        # reference forwarding and the replay see identical process state.
+        ctx.input_buffer.write(_verify_input(batches[0]))
+        engine.model.forward(batches[0], batches[0], ctx)
+        for batch_size in batches:
+            ctx.input_buffer.write(_verify_input(batch_size))
+            engine.reset_kv_state()
+            snapshot = engine.process.snapshot_payloads()
+            engine.model.forward(batch_size, batch_size, ctx)
+            expected = ctx.output_buffer.read().copy()
+            engine.process.restore_payloads(snapshot)
+            artifacts.execs[batch_size].replay()
+            if not np.array_equal(ctx.output_buffer.read(), expected):
+                bad.add(batch_size)
+        for batch_size in bad:
+            artifacts.graphs.pop(batch_size, None)
+            artifacts.execs.pop(batch_size, None)
+            self.degradation.note_failure(
+                f"verify batch {batch_size}",
+                RestorationError("restored graph output diverged from the "
+                                 "eager oracle"))
+        self.degradation.record(LadderStep(
+            rung=Rung.FULL, stage=RESTORE_VERIFY,
+            reason=f"output verification over batches {batches}",
+            batches=tuple(sorted(bad)),
+            duration=clock.now - start))
+        return bad
+
+    def _resolve_ladder(self, engine: LLMEngine,
+                        artifacts: Optional[CaptureArtifacts],
+                        poisoned: set) -> None:
+        """Walk the ladder until the engine can serve every batch size."""
+        policy = self.policy
+        clock = engine.process.clock
+        all_batches = set(self.artifact.graphs)
+        if self._kv_broken:
+            # No trustworthy replay at all: vanilla eager capture on the
+            # re-profiled KV region (the bottom rung).
+            start = clock.now
+            engine.capture_artifacts = run_capture_stage(
+                engine.process, engine.model, engine.kv_region)
+            self.degradation.record(LadderStep(
+                rung=Rung.EAGER, stage=DEGRADE_EAGER,
+                reason="replay broken before the KV region; captured all "
+                       "graphs eagerly",
+                batches=tuple(sorted(all_batches)),
+                duration=clock.now - start))
+            return
+        if self._warmup_ok and artifacts is not None and not poisoned:
+            return   # full restore — stay on the top rung
+        survivors = set(artifacts.execs) if artifacts is not None else set()
+        missing = sorted(all_batches - survivors)
+        if survivors and policy.allow_partial:
+            self.degradation.record(LadderStep(
+                rung=Rung.PARTIAL, stage=DEGRADE_PARTIAL,
+                reason="dropped poisoned graphs; their batch sizes serve "
+                       "through padding to a surviving graph",
+                batches=tuple(missing)))
+            return
+        if policy.allow_recapture:
+            start = clock.now
+            if artifacts is None:
+                artifacts = prepare_capture_stage(engine.process,
+                                                  engine.model)
+                engine.capture_artifacts = artifacts
+            for batch_size in sorted(missing, reverse=True):
+                capture_one(engine.process, engine.model, artifacts,
+                            engine.kv_region, batch_size)
+            self.degradation.record(LadderStep(
+                rung=Rung.RECAPTURE, stage=DEGRADE_RECAPTURE,
+                reason="re-captured poisoned graphs live (restored KV "
+                       "region kept)",
+                batches=tuple(missing),
+                duration=clock.now - start))
+            return
+        start = clock.now
+        engine.capture_artifacts = run_capture_stage(
+            engine.process, engine.model, engine.kv_region)
+        self.degradation.record(LadderStep(
+            rung=Rung.EAGER, stage=DEGRADE_EAGER,
+            reason="degradation policy forbids partial/recapture; captured "
+                   "all graphs eagerly",
+            batches=tuple(sorted(all_batches)),
+            duration=clock.now - start))
 
     # -- allocation replay (§4.2) -----------------------------------------------
 
@@ -183,16 +473,22 @@ class OnlineRestorer:
         events = self.artifact.replay_events
         consumed = 0
         while self._replay_cursor < len(events):
-            event = events[self._replay_cursor]
+            position = self._replay_cursor
+            event = events[position]
             self._replay_cursor += 1
             consumed += 1
-            self._apply_event(process, event)
+            self._apply_event(process, event, position)
             if (stop_alloc_index is not None and event.kind == "alloc"
                     and event.alloc_index == stop_alloc_index):
                 break
         return consumed
 
-    def _apply_event(self, process: CudaProcess, event: ReplayEvent) -> None:
+    def _apply_event(self, process: CudaProcess, event: ReplayEvent,
+                     position: int = 0) -> None:
+        if self.injector is not None:
+            # May raise OutOfMemoryError (REPLAY_OOM) or return a diverged
+            # event (REPLAY_DIVERGENCE) — both surface as replay faults.
+            event = self.injector.on_replay_event(position, event)
         if event.kind == "alloc":
             buffer = process.malloc(event.size, tag=event.tag,
                                     pool=event.pool)
@@ -224,7 +520,17 @@ class OnlineRestorer:
     def _restore_permanent_contents(self) -> None:
         for alloc_index in sorted(self.artifact.permanent_contents):
             payload = self.artifact.permanent_payload(alloc_index)
-            self._buffer(alloc_index).write(payload)
+            if self.injector is not None:
+                payload = self.injector.permanent_payload(alloc_index,
+                                                          payload)
+            buffer = self._buffer(alloc_index)
+            buffer.write(payload)
+            if self._verify_dumps:
+                expected = self.artifact.permanent_payload(alloc_index)
+                if not np.array_equal(buffer.read(), expected):
+                    raise RestorationError(
+                        f"permanent dump readback mismatch at alloc "
+                        f"{alloc_index} — the stored dump is corrupt (§4.3)")
 
     # -- pointer restoration (§4.2) ------------------------------------------------
 
@@ -247,6 +553,21 @@ class OnlineRestorer:
 
     # -- triggering-kernels (§5.1, §5.2) ----------------------------------------------
 
+    def _check_trigger(self, engine: LLMEngine, kernel_name: str) -> None:
+        """Watchdog on a triggering-kernel launch (fault-injection site).
+
+        A wedged trigger launch charges its full watchdog budget to the
+        clock and raises, instead of hanging the warm-up window forever.
+        """
+        if self.injector is None \
+                or not self.injector.trigger_times_out(kernel_name):
+            return
+        budget = engine.cost_model.trigger_timeout_seconds
+        engine.process.clock.advance(budget)
+        raise TriggerTimeoutError(
+            f"triggering kernel {kernel_name} exceeded its {budget}s "
+            f"watchdog budget during warm-up")
+
     def _launch_first_layer(self, engine: LLMEngine, batch_size: int) -> None:
         """Warm up the prologue + first layer eagerly (restored params)."""
         artifact = self.artifact
@@ -254,6 +575,7 @@ class OnlineRestorer:
         graph = artifact.graph(batch_size)
         plan = graph.nodes[:artifact.first_layer_nodes]
         for node in plan:
+            self._check_trigger(engine, node.kernel_name)
             spec = engine.catalog.kernel(node.kernel_name)
             process.launch(spec, self._restore_params(node),
                            launch_dims=dict(node.launch_dims),
@@ -265,6 +587,7 @@ class OnlineRestorer:
 
     def _run_trigger_plans(self, engine: LLMEngine) -> None:
         for plan in self.artifact.trigger_plans:
+            self._check_trigger(engine, plan.kernel_name)
             batch_size, node_index = plan.node_ref
             node = self.artifact.graph(batch_size).nodes[node_index]
             spec = engine.catalog.kernel(plan.kernel_name)
@@ -293,7 +616,15 @@ class OnlineRestorer:
     # -- kernel address restoration (§5) ----------------------------------------------
 
     def _build_address_table(self, engine: LLMEngine,
-                             first_layer_graph: CudaGraph) -> None:
+                             first_layer_graph: CudaGraph,
+                             tolerate: bool = False) -> set:
+        """Resolve materialized kernel names to this process's addresses.
+
+        With ``tolerate=True`` (ladder mode) unresolvable kernels are
+        collected and returned instead of raising, so the caller can poison
+        only the graphs that reference them.  Returns the unresolved set
+        (always empty in strict mode).
+        """
         driver = engine.process.driver
         cm = engine.cost_model
         table = self._name_to_address
@@ -308,22 +639,33 @@ class OnlineRestorer:
                          for graph in self.artifact.graphs.values()
                          for node in graph.nodes} - set(table))
         enumerated: Dict[Tuple[str, str], Dict[str, int]] = {}
+        unresolved: set = set()
         for kernel_name in needed:
             library = self.artifact.kernel_libraries.get(kernel_name)
             if library is None:
+                if tolerate:
+                    unresolved.add(kernel_name)
+                    continue
                 raise RestorationError(
                     f"artifact has no library mapping for {kernel_name}")
             try:
                 symbol = driver.dlsym(library, kernel_name)
             except SymbolNotFoundError:
-                address = self._enumerate_modules(engine, library,
-                                                  kernel_name, enumerated)
+                try:
+                    address = self._enumerate_modules(engine, library,
+                                                      kernel_name, enumerated)
+                except (RestorationError, ModuleNotLoadedError):
+                    if tolerate:
+                        unresolved.add(kernel_name)
+                        continue
+                    raise
             else:
                 address = driver.cuda_get_func_by_symbol(symbol)
             table[kernel_name] = address
         total_enumerated = sum(len(v) for v in enumerated.values())
         engine.process.clock.advance(
             cm.module_enumerate_per_kernel * total_enumerated)
+        return unresolved
 
     def _enumerate_modules(self, engine: LLMEngine, library: str,
                            kernel_name: str, enumerated) -> int:
@@ -371,12 +713,26 @@ class OnlineRestorer:
         )
 
 
+def _verify_input(batch_size: int) -> np.ndarray:
+    """Deterministic oracle input for restore-time output verification."""
+    base = np.arange(PAYLOAD_DIM, dtype=np.float64)
+    grid = np.outer(base + batch_size, np.ones(PAYLOAD_DIM))
+    return grid / PAYLOAD_DIM
+
+
 def medusa_cold_start(config, artifact: MaterializedModel, seed: int = 1,
                       mode: ExecutionMode = ExecutionMode.TIMING,
                       cost_model: Optional[CostModel] = None,
                       kv_config: Optional[KVCacheConfig] = None,
-                      checkpoints=None) -> Tuple[LLMEngine, ColdStartReport]:
-    """One Medusa cold start: fresh process, restore-based loading phase."""
+                      checkpoints=None, injector=None,
+                      policy: Optional[DegradationPolicy] = None
+                      ) -> Tuple[LLMEngine, ColdStartReport]:
+    """One Medusa cold start: fresh process, restore-based loading phase.
+
+    ``injector`` threads a :class:`repro.faults.FaultInjector` through the
+    process/driver and the restorer; ``policy`` opts the restorer into the
+    graceful-degradation ladder (see :mod:`repro.faults.ladder`).
+    """
     if isinstance(config, str):
         config = get_model_config(config)
     if artifact.model_name != config.name:
@@ -384,7 +740,7 @@ def medusa_cold_start(config, artifact: MaterializedModel, seed: int = 1,
             f"artifact is for {artifact.model_name}, engine wants {config.name}")
     engine = LLMEngine(config, Strategy.MEDUSA, seed=seed, mode=mode,
                        cost_model=cost_model, kv_config=kv_config,
-                       checkpoints=checkpoints)
+                       checkpoints=checkpoints, injector=injector)
     # Artifacts are keyed by <GPU type, model type> (§3): the profiled KV
     # memory and graph structure are only valid on the GPU they came from.
     if artifact.gpu_name != engine.cost_model.gpu.name:
@@ -392,7 +748,8 @@ def medusa_cold_start(config, artifact: MaterializedModel, seed: int = 1,
             f"artifact was materialized on {artifact.gpu_name!r}, this "
             f"engine runs on {engine.cost_model.gpu.name!r} — the offline "
             f"phase is per <GPU type, model type> (§3)")
-    report = engine.cold_start(restorer=OnlineRestorer(artifact))
+    restorer = OnlineRestorer(artifact, injector=injector, policy=policy)
+    report = engine.cold_start(restorer=restorer)
     return engine, report
 
 

@@ -26,15 +26,21 @@ def _slug(text: str) -> str:
 class ArtifactStore:
     """Materialization artifacts for many models on one storage path."""
 
-    def __init__(self, root, lint_on_load: bool = False):
+    def __init__(self, root, lint_on_load: bool = False, injector=None):
         """``lint_on_load``: statically verify every artifact fetched with
         :meth:`get` (see :mod:`repro.analysis`) and raise
         :class:`~repro.errors.LintError` on error-severity diagnostics —
         the SSD copy may be corrupt, hand-edited, or version-skewed even
-        when the index entry looks fine."""
+        when the index entry looks fine.
+
+        ``injector``: optional :class:`repro.faults.FaultInjector`; its
+        ARTIFACT_CORRUPTION faults mutate artifacts as they come off the
+        store, simulating a stale/bit-rotted SSD copy whose index entry
+        still looks fine."""
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.lint_on_load = lint_on_load
+        self.injector = injector
         self._index_path = self.root / _INDEX_NAME
 
     # -- index ------------------------------------------------------------
@@ -76,6 +82,8 @@ class ArtifactStore:
                 f"no materialization for <{gpu_name}, {model_name}> in "
                 f"{self.root}; run the offline phase first")
         artifact = MaterializedModel.load(self.root / filename)
+        if self.injector is not None and self.injector.active:
+            artifact = self.injector.corrupted_artifact(artifact)
         if self.lint_on_load:
             from repro.analysis import lint_artifact
             report = lint_artifact(artifact)

@@ -32,10 +32,18 @@ class ValidationReport:
     # so runtime validation and lint results travel through one structure
     # (rendered via repro.reporting.tables.format_diagnostics).
     diagnostics: List = field(default_factory=list)
+    # DegradationReport when the restore walked the ladder (see
+    # repro.faults.ladder); None on a strict validation run.
+    degradation: Optional[object] = None
 
     @property
     def passed(self) -> bool:
         return bool(self.batches_checked)
+
+    @property
+    def degraded(self) -> bool:
+        return self.degradation is not None \
+            and getattr(self.degradation, "degraded", False)
 
 
 def make_input_ids(seed: int = 0) -> np.ndarray:
@@ -49,29 +57,51 @@ def validate_restoration(config, artifact: MaterializedModel,
                          batches: Optional[Sequence[int]] = None,
                          seed: int = 77, cost_model=None,
                          kv_config=None,
-                         static_lint: bool = True) -> ValidationReport:
+                         static_lint: bool = True,
+                         injector=None,
+                         policy=None) -> ValidationReport:
     """Restore in a fresh process and compare replay vs eager outputs.
 
     ``static_lint``: run the zero-execution artifact verifier first; its
     diagnostics land on the report, and error-severity findings abort
     before the restore touches the artifact (a corrupt artifact should
     fail fast, not fault mid-replay).
+
+    ``policy``: a :class:`repro.faults.DegradationPolicy`.  When set, lint
+    errors no longer abort (the ladder is expected to survive them), the
+    restore runs in degradation-ladder mode, and only the batch sizes the
+    engine actually serves with a graph are output-checked; the ladder's
+    :class:`DegradationReport` lands on ``report.degradation``.
+    ``injector`` threads a :class:`repro.faults.FaultInjector` through
+    (chaos testing).
     """
     report = ValidationReport(model=artifact.model_name)
+    degraded_ok = policy is not None
     if static_lint:
         from repro.analysis import lint_artifact
         lint = lint_artifact(artifact)
         report.diagnostics = list(lint.diagnostics)
-        if lint.errors:
+        if lint.errors and not degraded_ok:
             raise ValidationError(
                 f"{artifact.model_name}: static verification found "
                 f"{len(lint.errors)} error(s) ({', '.join(lint.codes())}); "
                 f"refusing to restore a corrupt artifact")
-    engine, _report = medusa_cold_start(
+    engine, cold = medusa_cold_start(
         config, artifact, seed=seed, mode=ExecutionMode.COMPUTE,
-        cost_model=cost_model, kv_config=kv_config)
+        cost_model=cost_model, kv_config=kv_config,
+        injector=injector, policy=policy)
+    report.degradation = getattr(cold, "degradation", None)
     check_batches = list(batches) if batches is not None else \
         [min(artifact.graphs)]
+    if degraded_ok:
+        available = set(engine.capture_artifacts.execs) \
+            if engine.capture_artifacts is not None else set()
+        kept = [b for b in check_batches if b in available]
+        check_batches = kept or sorted(available)[:1]
+        if not check_batches:
+            raise ValidationError(
+                f"{artifact.model_name}: degraded restore left no "
+                f"executable graphs to validate")
     ctx = engine.serving_context()
     # Settle one-time eager-path state (cuBLAS-style workspace setup) before
     # the first snapshot, so snapshot/restore cycles preserve it.

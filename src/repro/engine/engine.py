@@ -25,6 +25,7 @@ from repro.engine.kvcache import (
     KVCacheRegion,
     allocate_kv_region,
 )
+from repro.engine.lanes import Lane
 from repro.engine.loadplan import (
     CAPTURE,
     KV_INIT,
@@ -33,6 +34,7 @@ from repro.engine.loadplan import (
     WEIGHTS,
     LoadPlan,
     Timeline,
+    append_stages,
 )
 from repro.engine.strategies import Strategy, plan_for
 from repro.errors import EngineError
@@ -57,6 +59,9 @@ class ColdStartReport:
     timeline: Timeline
     runtime_init_time: float
     first_token_time: float
+    #: repro.faults.DegradationReport when the restore degraded; None on a
+    #: clean cold start (every pre-ladder consumer keeps working unchanged).
+    degradation: Optional[object] = None
 
     @property
     def loading_time(self) -> float:
@@ -78,11 +83,14 @@ class LLMEngine:
                  kv_config: Optional[KVCacheConfig] = None,
                  checkpoints: Optional[CheckpointStore] = None,
                  capture_batch_sizes=None,
-                 plan: Optional[LoadPlan] = None):
+                 plan: Optional[LoadPlan] = None,
+                 injector=None):
         """``capture_batch_sizes``: override the batch sizes the capture
         stage covers (a subset of the config's list); None captures all.
         ``plan``: override the strategy's registered LoadPlan (e.g. a
-        demonstration ordering from ``repro.engine.strategies``)."""
+        demonstration ordering from ``repro.engine.strategies``).
+        ``injector``: optional ``repro.faults.FaultInjector`` threaded into
+        the simulated process/driver (chaos testing)."""
         if isinstance(config, str):
             config = get_model_config(config)
         self.config: ModelConfig = config
@@ -90,13 +98,15 @@ class LLMEngine:
             if capture_batch_sizes is not None else None
         self.strategy = strategy
         self.plan = plan
+        self.injector = injector
         self.cost_model = cost_model or CostModel()
         self.kv_config = kv_config or KVCacheConfig()
         self.checkpoints = checkpoints or CheckpointStore()
         self.catalog = build_catalog(config)
         self.process = CudaProcess(seed=seed, catalog=self.catalog,
                                    cost_model=self.cost_model, mode=mode,
-                                   name=f"{config.name}/{strategy.value}")
+                                   name=f"{config.name}/{strategy.value}",
+                                   injector=injector)
         self.model = Model(config, self.process)
         self.tokenizer = Tokenizer(config)
         self.kv_region: Optional[KVCacheRegion] = None
@@ -138,6 +148,19 @@ class LLMEngine:
         durations: Dict[str, float] = {}
         for stage in plan.execution_order():
             durations[stage.name] = actions[stage.action_name]()
+        degradation = getattr(restorer, "degradation", None)
+        if degradation is not None and (degradation.steps
+                                        or degradation.failures):
+            # Ladder fallbacks (and verification passes) become their own
+            # serial timeline stages, so the breakdown/trace name each rung
+            # and its latency cost.
+            extras = degradation.extra_stages()
+            plan = append_stages(plan, [name for name, _ in extras],
+                                 Lane.GPU_COMPUTE)
+            for name, duration in extras:
+                durations[name] = duration
+        else:
+            degradation = None
         timeline = plan.schedule(durations, self.cost_model,
                                  strategy=self.strategy)
         self.process.clock.advance_to(timeline.total)
@@ -148,6 +171,7 @@ class LLMEngine:
             timeline=timeline,
             runtime_init_time=self.cost_model.runtime_init_time,
             first_token_time=self.cost_model.first_token_extra,
+            degradation=degradation,
         )
         return self._report
 

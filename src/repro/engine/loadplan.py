@@ -253,6 +253,26 @@ class LoadPlan:
                         plan=self.name)
 
 
+def append_stages(plan: LoadPlan, names: Sequence[str],
+                  lane: Lane, suffix: str = "+degraded") -> LoadPlan:
+    """A copy of ``plan`` with serial stages chained onto its last stage.
+
+    Used by the degradation ladder: fallback work (re-profiling, recapture,
+    eager capture) lands on the timeline as its own stages, in order, after
+    everything the base plan declared — so the breakdown table and Chrome
+    trace show exactly what degraded and what it cost.
+    """
+    if not names:
+        return plan
+    prev = plan.stages[-1].name
+    extra: List[PlanStage] = []
+    for name in names:
+        extra.append(PlanStage(name, lane, deps=(prev,)))
+        prev = name
+    return LoadPlan(plan.name + suffix, plan.stages + tuple(extra),
+                    description=plan.description)
+
+
 def _mark_critical(placed: Sequence[ScheduledStage],
                    blockers: Mapping[str, Tuple[str, ...]]
                    ) -> List[ScheduledStage]:

@@ -74,6 +74,11 @@ class ContinuousBatchingScheduler:
         """
         output = SchedulerOutput()
 
+        # Each retry preempts exactly one victim, so a correct loop retries
+        # at most len(running) - 1 times; the budget turns any violation of
+        # that invariant (e.g. a block manager that releases nothing on
+        # preemption) into an error instead of an unbounded spin.
+        retry_budget = len(self.running)
         index = 0
         while index < len(self.running):
             sequence = self.running[index]
@@ -87,6 +92,12 @@ class ContinuousBatchingScheduler:
                         f"{self.block_manager.blocks_needed(sequence.num_total_tokens + 1)} "
                         f"blocks but the cache holds only "
                         f"{self.block_manager.num_blocks} in total")
+                if retry_budget <= 0:
+                    raise SchedulingError(
+                        f"scheduler made no progress after preempting every "
+                        f"candidate victim for {sequence.seq_id} — block "
+                        f"accounting is broken")
+                retry_budget -= 1
                 victim = self.running.pop()        # youngest
                 self._preempt(victim, output)
                 if victim is sequence:
@@ -103,6 +114,21 @@ class ContinuousBatchingScheduler:
             candidate = self.waiting[0]
             if not self.block_manager.can_allocate(
                     candidate.num_prompt_tokens + 1):
+                # A prompt larger than the whole cache can never be
+                # admitted: every later iteration would break here again
+                # with the same head-of-queue candidate, spinning the
+                # serving loop forever on a sequence that never fits.
+                if (self.block_manager.blocks_needed(
+                        candidate.num_prompt_tokens + 1)
+                        > self.block_manager.num_blocks):
+                    self.waiting.popleft()
+                    candidate.status = SequenceStatus.FINISHED
+                    raise KVCacheExhaustedError(
+                        f"{candidate.seq_id} needs "
+                        f"{self.block_manager.blocks_needed(candidate.num_prompt_tokens + 1)} "
+                        f"blocks for its prompt but the cache holds only "
+                        f"{self.block_manager.num_blocks} in total — it can "
+                        f"never be scheduled")
                 break
             self.waiting.popleft()
             self.block_manager.allocate(candidate.seq_id,

@@ -56,6 +56,14 @@ class ModuleNotLoadedError(CudaError):
     """A module was enumerated before any of its kernels forced it to load."""
 
 
+class TriggerTimeoutError(CudaError):
+    """A triggering-kernel launch exceeded its watchdog budget.
+
+    The warm-up window launches triggering kernels purely for their module
+    loading side effect (§5); a wedged launch there must not hang the cold
+    start, so the restorer treats it as a fault and degrades instead."""
+
+
 class DeviceMismatchError(CudaError):
     """An operation mixed objects belonging to different simulated processes."""
 

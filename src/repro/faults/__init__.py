@@ -1,0 +1,49 @@
+"""Deterministic fault injection + the restoration degradation ladder.
+
+See :mod:`repro.faults.plan` (what to inject), :mod:`repro.faults.injector`
+(where it fires), and :mod:`repro.faults.ladder` (how the cold start
+recovers).
+"""
+
+from repro.faults.injector import FaultInjector, corrupt_graph_payload
+from repro.faults.ladder import (
+    DEGRADE_EAGER,
+    DEGRADE_KV_PROFILE,
+    DEGRADE_PARTIAL,
+    DEGRADE_RECAPTURE,
+    FAULT_STATIC_COVERAGE,
+    RESTORE_VERIFY,
+    RUNTIME_ONLY,
+    DegradationPolicy,
+    DegradationReport,
+    LadderStep,
+    Rung,
+)
+from repro.faults.plan import (
+    PHASE_KV,
+    PHASE_WARMUP,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "DEGRADE_EAGER",
+    "DEGRADE_KV_PROFILE",
+    "DEGRADE_PARTIAL",
+    "DEGRADE_RECAPTURE",
+    "FAULT_STATIC_COVERAGE",
+    "RESTORE_VERIFY",
+    "RUNTIME_ONLY",
+    "DegradationPolicy",
+    "DegradationReport",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "LadderStep",
+    "PHASE_KV",
+    "PHASE_WARMUP",
+    "Rung",
+    "corrupt_graph_payload",
+]

@@ -1,0 +1,274 @@
+"""The runtime side of fault injection: site hooks + deterministic targets.
+
+A :class:`FaultInjector` wraps one :class:`~repro.faults.plan.FaultPlan` and
+is threaded through the layers a restore actually crosses — the artifact
+store (load-time corruption), the simulated driver (symbol resolution), and
+the online restorer (allocation replay, permanent dumps, trigger launches).
+``prepare(artifact)`` resolves every underspecified fault target against the
+concrete artifact using the plan's seeded RNG, so the same (plan, artifact)
+pair always faults at the same site.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.artifact import MaterializedModel, ReplayEvent
+from repro.core.pointer_analysis import POINTER
+from repro.errors import InvalidValueError, OutOfMemoryError
+from repro.faults.plan import (
+    PHASE_KV,
+    PHASE_WARMUP,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
+
+#: Offset pushed into a corrupted pointer restore — far outside any
+#: simulated allocation, so the restore check (§4.2) must trip.
+_CORRUPT_OFFSET = 1 << 40
+#: Perturbation applied to a diverged replay event's allocation index.
+_DIVERGENCE_SHIFT = 7919
+
+
+def _pointer_sites(param_restores) -> List[int]:
+    """Indices of POINTER-kind restores in one node's restore list."""
+    return [i for i, restore in enumerate(param_restores)
+            if getattr(restore, "kind", None) == POINTER
+            or (isinstance(restore, dict) and restore.get("kind") == POINTER)]
+
+
+def _pick_corruption_site(nodes, first_layer_nodes: int,
+                          restores_of) -> Tuple[int, int]:
+    """(node index, param index) to corrupt in one graph.
+
+    Prefers a node *after* the first-layer prefix so the poison stays local
+    to the graph's restore tail instead of breaking the shared warm-up.
+    """
+    candidates = []
+    for node_index in range(len(nodes) - 1, -1, -1):
+        sites = _pointer_sites(restores_of(nodes[node_index]))
+        if sites:
+            candidates.append((node_index, sites[-1]))
+            if node_index >= first_layer_nodes:
+                return node_index, sites[-1]
+    if candidates:
+        return candidates[0]
+    raise InvalidValueError(
+        "graph has no pointer-restore parameters to corrupt")
+
+
+def corrupt_graph_payload(payload: Dict, batch_size: Optional[int] = None) -> Dict:
+    """Apply the canonical ARTIFACT_CORRUPTION mutation to a raw artifact
+    JSON payload (the same mutation the injector applies to a loaded
+    artifact) — used by the lint-sync tests to show MED011 catches it."""
+    graphs = payload["graphs"]
+    key = str(batch_size) if batch_size is not None else sorted(graphs)[0]
+    nodes = graphs[key]["nodes"]
+    node_index, param_index = _pick_corruption_site(
+        nodes, payload.get("first_layer_nodes", 0),
+        lambda node: node["param_restores"])
+    nodes[node_index]["param_restores"][param_index]["offset"] = _CORRUPT_OFFSET
+    return payload
+
+
+@dataclass
+class _ResolvedFault:
+    """A FaultSpec with every target pinned against one artifact."""
+
+    spec: FaultSpec
+    batch_size: Optional[int] = None
+    event_index: Optional[int] = None
+    kernel_name: str = ""
+    alloc_index: Optional[int] = None
+
+    @property
+    def kind(self) -> FaultKind:
+        return self.spec.kind
+
+
+class FaultInjector:
+    """Injects one FaultPlan's faults at their restoration sites."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._resolved: List[_ResolvedFault] = []
+        self._prepared = False
+        #: (site, description) log of every fault that actually fired.
+        self.fired: List[Tuple[str, str]] = []
+
+    @property
+    def active(self) -> bool:
+        return not self.plan.is_empty
+
+    def record(self, site: str, description: str) -> None:
+        self.fired.append((site, description))
+
+    # ------------------------------------------------------------------
+    # Target resolution
+    # ------------------------------------------------------------------
+
+    def prepare(self, artifact: MaterializedModel) -> None:
+        """Pin every fault's target against ``artifact`` (idempotent)."""
+        if self._prepared or not self.active:
+            self._prepared = True
+            return
+        self._resolved = [self._resolve(index, spec, artifact)
+                          for index, spec in enumerate(self.plan.faults)]
+        self._prepared = True
+
+    def _resolve(self, index: int, spec: FaultSpec,
+                 artifact: MaterializedModel) -> _ResolvedFault:
+        rng = self.plan.rng("fault", index, spec.kind.value)
+        resolved = _ResolvedFault(spec=spec)
+        if spec.kind is FaultKind.ARTIFACT_CORRUPTION:
+            batches = sorted(artifact.graphs)
+            resolved.batch_size = spec.batch_size if spec.batch_size in \
+                artifact.graphs else batches[int(rng.integers(len(batches)))]
+        elif spec.kind in (FaultKind.REPLAY_DIVERGENCE, FaultKind.REPLAY_OOM):
+            resolved.event_index = self._resolve_replay_target(
+                spec, artifact, rng)
+        elif spec.kind is FaultKind.HIDDEN_KERNEL_UNRESOLVED:
+            # Only kernels outside the captured first-layer prefix ever go
+            # through dlsym/enumeration — prefix kernels get their address
+            # from the captured warm-up graph and would never miss.
+            max_graph = artifact.graph(max(artifact.graphs))
+            prefix = {node.kernel_name
+                      for node in
+                      max_graph.nodes[:artifact.first_layer_nodes]}
+            names = sorted({node.kernel_name
+                            for graph in artifact.graphs.values()
+                            for node in graph.nodes} - prefix) \
+                or sorted(artifact.kernel_libraries)
+            resolved.kernel_name = spec.kernel_name or \
+                names[int(rng.integers(len(names)))]
+        elif spec.kind is FaultKind.PERMANENT_DUMP_BITFLIP:
+            dumps = sorted(artifact.permanent_contents)
+            if spec.alloc_index in artifact.permanent_contents:
+                resolved.alloc_index = spec.alloc_index
+            elif dumps:
+                resolved.alloc_index = dumps[int(rng.integers(len(dumps)))]
+        elif spec.kind is FaultKind.TRIGGER_TIMEOUT:
+            if spec.kernel_name:
+                resolved.kernel_name = spec.kernel_name
+            else:
+                graph = artifact.graph(max(artifact.graphs))
+                prefix = graph.nodes[:artifact.first_layer_nodes] or graph.nodes
+                names = sorted({node.kernel_name for node in prefix})
+                resolved.kernel_name = names[int(rng.integers(len(names)))]
+        return resolved
+
+    @staticmethod
+    def _resolve_replay_target(spec: FaultSpec,
+                               artifact: MaterializedModel,
+                               rng) -> Optional[int]:
+        events = artifact.replay_events
+        if spec.event_index is not None:
+            return spec.event_index if 0 <= spec.event_index < len(events) \
+                else None
+        kv_pos = next((i for i, e in enumerate(events)
+                       if e.kind == "alloc"
+                       and e.alloc_index == artifact.kv_alloc_index),
+                      len(events) - 1)
+        phase = spec.phase or PHASE_WARMUP
+        if phase == PHASE_KV:
+            span = range(0, kv_pos + 1)
+        else:
+            span = range(kv_pos + 1, len(events))
+        # Both replay faults model cudaMalloc misbehavior (an unexpected
+        # return or a failure), so only alloc events are meaningful targets.
+        candidates = [i for i in span if events[i].kind == "alloc"]
+        if not candidates:
+            return kv_pos if phase == PHASE_KV else None
+        return candidates[int(rng.integers(len(candidates)))]
+
+    def _faults(self, *kinds: FaultKind) -> List[_ResolvedFault]:
+        return [f for f in self._resolved if f.kind in kinds]
+
+    # ------------------------------------------------------------------
+    # Site hooks
+    # ------------------------------------------------------------------
+
+    def corrupted_artifact(self, artifact: MaterializedModel
+                           ) -> MaterializedModel:
+        """Apply ARTIFACT_CORRUPTION faults; returns a mutated deep copy
+        (or ``artifact`` itself when no corruption fault targets it)."""
+        self.prepare(artifact)
+        faults = self._faults(FaultKind.ARTIFACT_CORRUPTION)
+        if not faults:
+            return artifact
+        corrupted = copy.deepcopy(artifact)
+        for fault in faults:
+            graph = corrupted.graph(fault.batch_size)
+            node_index, param_index = _pick_corruption_site(
+                graph.nodes, corrupted.first_layer_nodes,
+                lambda node: node.param_restores)
+            restore = graph.nodes[node_index].param_restores[param_index]
+            graph.nodes[node_index].param_restores[param_index] = \
+                replace(restore, offset=_CORRUPT_OFFSET)
+            self.record("store.load",
+                        f"corrupted batch-{fault.batch_size} graph node "
+                        f"{node_index} param {param_index} (offset pushed "
+                        f"out of bounds)")
+        return corrupted
+
+    def on_replay_event(self, position: int,
+                        event: ReplayEvent) -> ReplayEvent:
+        """Called per replayed event; may perturb it or raise OOM."""
+        for fault in self._faults(FaultKind.REPLAY_OOM):
+            if fault.event_index == position:
+                self.record("replay.event",
+                            f"cudaMalloc OOM at replay event {position}")
+                raise OutOfMemoryError(
+                    f"cudaMalloc failed during allocation replay (event "
+                    f"{position}, fault injection): device memory exhausted")
+        for fault in self._faults(FaultKind.REPLAY_DIVERGENCE):
+            if fault.event_index == position:
+                self.record("replay.event",
+                            f"diverged replay event {position} "
+                            f"({event.kind} {event.alloc_index})")
+                return replace(
+                    event,
+                    alloc_index=event.alloc_index + _DIVERGENCE_SHIFT)
+        return event
+
+    def symbol_blocked(self, kernel_name: str) -> bool:
+        """HIDDEN_KERNEL_UNRESOLVED: neither dlsym nor enumeration may see
+        the targeted kernel (its module looks never-loaded)."""
+        for fault in self._faults(FaultKind.HIDDEN_KERNEL_UNRESOLVED):
+            if fault.kernel_name == kernel_name:
+                self.record("driver.resolve",
+                            f"blocked symbol resolution of {kernel_name}")
+                return True
+        return False
+
+    def permanent_payload(self, alloc_index: int,
+                          payload: np.ndarray) -> np.ndarray:
+        """PERMANENT_DUMP_BITFLIP: flip one element of a restored dump."""
+        for fault in self._faults(FaultKind.PERMANENT_DUMP_BITFLIP):
+            if fault.alloc_index != alloc_index:
+                continue
+            flipped = np.array(payload, copy=True)
+            rng = self.plan.rng("bitflip", alloc_index)
+            flat = flipped.reshape(-1)
+            position = int(rng.integers(flat.size))
+            flat[position] = -(flat[position] + 1.0)   # guaranteed different
+            self.record("restore.permanent",
+                        f"flipped element {position} of permanent dump "
+                        f"{alloc_index}")
+            return flipped
+        return payload
+
+    def trigger_times_out(self, kernel_name: str) -> bool:
+        """TRIGGER_TIMEOUT: does this trigger launch wedge?  Fires once."""
+        for fault in self._faults(FaultKind.TRIGGER_TIMEOUT):
+            if fault.kernel_name == kernel_name:
+                self.record("warmup.trigger",
+                            f"trigger launch of {kernel_name} timed out")
+                self._resolved.remove(fault)
+                return True
+        return False

@@ -37,16 +37,25 @@ class ColdStartProfile:
     use_cuda_graphs: bool = True
     deferred_capture: bool = False   # §2.4: capture lazily while serving
     timeline: Optional[object] = None   # repro.engine.Timeline, if known
+    # Ladder rung label ("partial"/"recapture"/"eager") when the cold start
+    # this profile came from degraded; "" on a clean restore.
+    degraded_rung: str = ""
 
     @classmethod
     def from_report(cls, report) -> "ColdStartProfile":
         """Build the profile from one engine ``ColdStartReport``."""
         strategy = report.strategy
+        degradation = getattr(report, "degradation", None)
+        degraded_rung = ""
+        if degradation is not None and getattr(degradation, "degraded",
+                                               False):
+            degraded_rung = degradation.rung_name
         return cls(
             loading_time=report.loading_time,
             use_cuda_graphs=strategy.uses_cuda_graphs,
             deferred_capture=strategy is Strategy.DEFERRED,
             timeline=report.timeline,
+            degraded_rung=degraded_rung,
         )
 
 

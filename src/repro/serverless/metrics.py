@@ -18,11 +18,19 @@ class SimulationMetrics:
     completed: int = 0
     arrived: int = 0
     cold_starts: int = 0
+    # Cold starts that finished on a lower degradation-ladder rung (the
+    # instance still serves, but its loading phase lost the full restore).
+    degraded_cold_starts: int = 0
+    degraded_rungs: Dict[str, int] = field(default_factory=dict)
     provisioned_gpu_seconds: float = 0.0   # ready time across instances
     busy_gpu_seconds: float = 0.0          # time instances spent serving
 
     def record_ttft(self, ttft: float) -> None:
         self.ttfts.append(ttft)
+
+    def record_degraded_cold_start(self, rung: str) -> None:
+        self.degraded_cold_starts += 1
+        self.degraded_rungs[rung] = self.degraded_rungs.get(rung, 0) + 1
 
     def record_completion(self, latency: float,
                           in_horizon: bool = True) -> None:
@@ -67,5 +75,6 @@ class SimulationMetrics:
             "completed": float(self.completed),
             "throughput": self.throughput,
             "cold_starts": float(self.cold_starts),
+            "degraded_cold_starts": float(self.degraded_cold_starts),
         })
         return report

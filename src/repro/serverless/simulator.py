@@ -108,6 +108,10 @@ class ClusterSimulator:
         self.instances.append(instance)
         if cold:
             self.metrics.cold_starts += 1
+            profile = self.config.profile
+            if profile is not None and profile.degraded_rung:
+                self.metrics.record_degraded_cold_start(
+                    profile.degraded_rung)
         self._push(instance.ready_at, _INSTANCE_READY, instance)
         return instance
 

@@ -87,6 +87,7 @@ class CostModel:
     alloc_replay_per_event: float = 1.5e-6   # replay one (de)allocation
     module_enumerate_per_kernel: float = 3e-6
     kv_restore_time: float = 0.02            # read materialized free-mem value
+    trigger_timeout_seconds: float = 0.25    # watchdog budget per trigger launch
 
     # --- Medusa offline phase ----------------------------------------------
     interception_per_event: float = 40e-6    # hooked allocation/launch overhead

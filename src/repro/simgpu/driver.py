@@ -43,9 +43,12 @@ class HostSymbol:
 class CudaDriver:
     """Process-local driver state over a shared :class:`LibraryCatalog`."""
 
-    def __init__(self, catalog: LibraryCatalog, aslr_seeds):
+    def __init__(self, catalog: LibraryCatalog, aslr_seeds, injector=None):
         self.catalog = catalog
         self._aslr_seeds = aslr_seeds     # SeedSequence: per-library bases
+        #: Optional repro.faults.FaultInjector: lets chaos tests make
+        #: symbol resolution fail the way a driver/library skew would.
+        self.injector = injector
         self._lib_bases: Dict[str, int] = {}
         self._initialized_libs: Set[str] = set()
         self._loaded_modules: Set[Tuple[str, str]] = set()   # (library, module)
@@ -109,6 +112,11 @@ class CudaDriver:
     def dlsym(self, library_name: str, mangled_name: str) -> HostSymbol:
         """Resolve a *visible* kernel symbol; hidden kernels raise."""
         library = self.dlopen(library_name)
+        if self.injector is not None \
+                and self.injector.symbol_blocked(mangled_name):
+            raise SymbolNotFoundError(
+                f"dlsym: {mangled_name} is not in the symbol table of "
+                f"{library_name} (fault injection)")
         spec = library.find_kernel(mangled_name)
         if spec.hidden:
             raise SymbolNotFoundError(
@@ -139,7 +147,10 @@ class CudaDriver:
         library = self.catalog.library(library_name)
         for module in library.modules:
             if module.name == module_name:
-                return tuple(self._kernel_to_addr[s.name] for s in module.kernels)
+                return tuple(self._kernel_to_addr[s.name]
+                             for s in module.kernels
+                             if self.injector is None
+                             or not self.injector.symbol_blocked(s.name))
         raise InvalidValueError(f"{library_name} has no module {module_name}")
 
     def cu_func_get_name(self, address: int) -> str:

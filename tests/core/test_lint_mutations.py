@@ -228,3 +228,54 @@ def test_mutation_is_flagged(golden_payload, mutate, expected_code):
 
 def test_mutations_cover_at_least_ten_distinct_codes():
     assert len({code for _, code in MUTATIONS}) >= 10
+
+
+# -- fault-kind ↔ static-diagnostic sync -----------------------------------
+# Every fault the chaos harness can inject must either map to a MED0xx code
+# (and the canonical corruption must actually trip it on a stored artifact)
+# or carry an explicit runtime-only marker.  A new FaultKind without an
+# entry fails here, forcing the author to decide which side it lands on.
+
+from repro.faults import (  # noqa: E402
+    FAULT_STATIC_COVERAGE,
+    RUNTIME_ONLY,
+    FaultKind,
+    corrupt_graph_payload,
+)
+
+
+def test_every_fault_kind_declares_static_coverage():
+    assert set(FAULT_STATIC_COVERAGE) == set(FaultKind)
+    for kind, coverage in FAULT_STATIC_COVERAGE.items():
+        assert coverage == RUNTIME_ONLY or coverage.startswith("MED"), (
+            f"{kind.value}: coverage must be a MED0xx code or "
+            f"{RUNTIME_ONLY!r}, got {coverage!r}")
+
+
+def test_statically_coverable_faults_trip_their_code(golden_payload):
+    """The injector's canonical artifact corruption is caught by the exact
+    code FAULT_STATIC_COVERAGE claims for it."""
+    checked = 0
+    for kind, code in FAULT_STATIC_COVERAGE.items():
+        if code == RUNTIME_ONLY:
+            continue
+        assert kind is FaultKind.ARTIFACT_CORRUPTION   # the only one so far
+        payload = copy.deepcopy(golden_payload)
+        corrupt_graph_payload(payload)
+        report = lint_json_text(json.dumps(payload))
+        assert report.has(code), (
+            f"{kind.value}: expected {code}, got "
+            f"{report.codes() or 'a clean report'}")
+        checked += 1
+    assert checked >= 1
+
+
+def test_runtime_only_faults_stay_invisible_to_lint(golden_payload):
+    """Runtime-only kinds corrupt process state, not artifact bytes — the
+    golden artifact itself must stay lint-clean, which is what makes the
+    runtime-only marker honest."""
+    report = lint_json_text(json.dumps(golden_payload))
+    assert report.clean
+    runtime_only = [k for k, c in FAULT_STATIC_COVERAGE.items()
+                    if c == RUNTIME_ONLY]
+    assert len(runtime_only) == len(FaultKind) - 1

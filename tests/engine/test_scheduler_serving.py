@@ -7,7 +7,12 @@ from repro.engine.kvcache import BlockManager
 from repro.engine.request import SamplingParams, Sequence, SequenceStatus
 from repro.engine.scheduler import ContinuousBatchingScheduler
 from repro.engine.serving import ServingLoop
-from repro.errors import EngineError, InvalidValueError, SchedulingError
+from repro.errors import (
+    EngineError,
+    InvalidValueError,
+    KVCacheExhaustedError,
+    SchedulingError,
+)
 from repro.simgpu.process import ExecutionMode
 
 from tests.conftest import tiny_cost_model
@@ -115,6 +120,64 @@ class TestScheduler:
         sequence.status = SequenceStatus.RUNNING
         with pytest.raises(SchedulingError):
             scheduler.add(sequence)
+
+    def test_never_fitting_prompt_raises_instead_of_spinning(self):
+        # 2 blocks * 16 tokens = 32-token cache; a 40-token prompt can
+        # never be admitted.  Before the guard, schedule() returned empty
+        # plans forever while has_work stayed True — an infinite serving
+        # loop on a sequence that never fits.
+        scheduler = self.make(blocks=2, batch=4)
+        scheduler.add(seq(prompt_len=40))
+        with pytest.raises(KVCacheExhaustedError, match="never"):
+            scheduler.schedule()
+        assert not scheduler.has_work        # the doomed sequence is gone
+
+    def test_never_fitting_prompt_behind_running_work(self):
+        # The guard must fire even when other sequences are running (the
+        # head-of-queue giant would otherwise starve admission forever).
+        scheduler = self.make(blocks=4, batch=4)
+        small = seq(prompt_len=8, max_tokens=50)
+        scheduler.add(small)
+        scheduler.schedule()
+        scheduler.add(seq(prompt_len=100))
+        with pytest.raises(KVCacheExhaustedError, match="never"):
+            scheduler.schedule()
+        assert scheduler.running == [small]  # running work is untouched
+
+    def test_tight_but_fitting_prompt_is_not_rejected(self):
+        # Exactly cache-sized prompts are a capacity wait, not a
+        # never-fits condition — they must stay queued, not raise.
+        scheduler = self.make(blocks=2, batch=4)
+        blocker = seq(prompt_len=15, max_tokens=50)
+        scheduler.add(blocker)
+        scheduler.schedule()                 # holds 1 of 2 blocks
+        waiter = seq(prompt_len=28)          # 29 tokens -> needs both blocks
+        scheduler.add(waiter)
+        plan = scheduler.schedule()          # blocked now, fits later
+        assert not plan.prefill
+        assert scheduler.waiting[0] is waiter
+        scheduler.finish(blocker)
+        plan = scheduler.schedule()
+        assert plan.prefill == [waiter]
+
+    def test_retry_budget_catches_broken_block_accounting(self):
+        # A block manager that releases nothing on preemption violates the
+        # loop's progress invariant; the budget turns that into an error.
+        class LeakyBlockManager(BlockManager):
+            def release(self, seq_id):
+                pass                         # "frees" nothing
+
+        scheduler = ContinuousBatchingScheduler(LeakyBlockManager(4, 16),
+                                                max_batch_size=4)
+        sequences = [seq(prompt_len=15, max_tokens=50) for _ in range(4)]
+        for sequence in sequences:
+            scheduler.add(sequence)
+        scheduler.schedule()                 # all admitted: 1 block each
+        for sequence in sequences:
+            sequence.append_token(1, now=0.0)
+        with pytest.raises((SchedulingError, KVCacheExhaustedError)):
+            # Every decode needs a 2nd block, preemption frees nothing.
+            scheduler.schedule()
 
 
 class TestServingLoop:

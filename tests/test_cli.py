@@ -158,6 +158,55 @@ class TestValidateCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestValidateDegradedExitCode:
+    """Exit 3 = degraded but serving; 1 stays a hard failure (exit codes
+    must let CI tell "we limped home" apart from "we crashed")."""
+
+    @pytest.fixture()
+    def corrupt_artifact_path(self, tiny_artifact_path, tmp_path):
+        from repro.faults import corrupt_graph_payload
+        payload = json.loads(open(tiny_artifact_path).read())
+        corrupt_graph_payload(payload)
+        bad = tmp_path / "corrupt.medusa.json"
+        bad.write_text(json.dumps(payload))
+        return str(bad)
+
+    def test_degraded_ok_exits_three(self, corrupt_artifact_path, capsys):
+        assert main(["validate", "--artifact", corrupt_artifact_path,
+                     "--degraded-ok"]) == 3
+        output = capsys.readouterr().out
+        assert "validation: PASSED" in output
+        assert "rung" in output
+        assert "MED011" in output
+
+    def test_same_artifact_without_flag_exits_one(self,
+                                                  corrupt_artifact_path,
+                                                  capsys):
+        assert main(["validate", "--artifact", corrupt_artifact_path]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_clean_artifact_with_flag_exits_zero(self, tiny_artifact_path,
+                                                 capsys):
+        assert main(["validate", "--artifact", tiny_artifact_path,
+                     "--degraded-ok"]) == 0
+        assert "rung" not in capsys.readouterr().out
+
+    def test_hard_failure_still_exits_one(self, tiny_artifact_path, capsys):
+        # A model mismatch is not a restore fault the ladder can absorb.
+        assert main(["validate", "--artifact", tiny_artifact_path,
+                     "--model", "Tiny-4L", "--degraded-ok"]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_degraded_json_carries_the_ladder(self, corrupt_artifact_path,
+                                              capsys):
+        assert main(["validate", "--artifact", corrupt_artifact_path,
+                     "--degraded-ok", "--json"]) == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["degradation"]["rung"] == "partial"
+        assert payload["degradation"]["degraded"] is True
+
+
 class TestSimulateStrategies:
     def test_simulate_deferred_strategy(self, capsys):
         from repro.cli import main

@@ -1,0 +1,185 @@
+"""Wall-clock benchmark for the pipelined restoration fast path.
+
+Unlike the figure benches (which report *simulated* seconds), this harness
+times the restoration machinery itself with ``time.perf_counter``: binary
+artifact save, eager vs lazy load, and the object-path vs vectorized
+restore over a paper-scale artifact (~16k graph nodes, ~65k replay
+events for Qwen1.5-4B).  It writes ``BENCH_restore.json`` with the p50
+wall-clock numbers plus the simulated critical-path seconds per strategy,
+and (with ``--assert-speedup``/``--quick``) exits non-zero unless the
+vectorized restore beats the object path by the required factor — the CI
+perf-smoke gate.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.core.binfmt import LazyArtifact, load_binary, save_binary
+from repro.core.offline import run_offline
+from repro.core.online import prepare_medusa_cold_start
+from repro.engine import LLMEngine, Strategy
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _p50(fn: Callable[[], object], repeats: int) -> float:
+    """Median wall-clock seconds of ``repeats`` calls to ``fn``."""
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _restore_p50(model: str, open_artifact: Callable[[], object],
+                 fast: bool, repeats: int) -> float:
+    """p50 wall-clock of one full restore (artifact open + cold start).
+
+    Each repeat opens the artifact afresh and builds a fresh engine, so
+    the measurement covers exactly what a cold start pays: deserialization
+    (eager) or the npz index read (lazy) plus the restoration itself.
+    """
+    def run():
+        engine, restorer = prepare_medusa_cold_start(
+            model, open_artifact(), seed=9600, fast=fast)
+        engine.cold_start(restorer=restorer)
+    return _p50(run, repeats)
+
+
+def _simulated_critical_paths(model: str, artifact,
+                              lazy_path) -> Dict[str, Dict[str, float]]:
+    """Simulated loading/ready/total seconds for every strategy."""
+    results: Dict[str, Dict[str, float]] = {}
+    for strategy in Strategy:
+        if strategy is Strategy.MEDUSA:
+            engine, restorer = prepare_medusa_cold_start(
+                model, artifact, seed=9601, fast=False)
+            report = engine.cold_start(restorer=restorer)
+        else:
+            report = LLMEngine(model, strategy, seed=9601).cold_start()
+        results[strategy.value] = {
+            "loading": report.loading_time,
+            "ready": report.ready_time,
+            "total": report.timeline.total,
+        }
+    engine, restorer = prepare_medusa_cold_start(
+        model, LazyArtifact(lazy_path), seed=9601, fast=True)
+    report = engine.cold_start(restorer=restorer)
+    results["medusa-pipelined"] = {
+        "loading": report.loading_time,
+        "ready": report.ready_time,
+        "total": report.timeline.total,
+    }
+    return results
+
+
+def run_bench(model: str, repeats: int, output: pathlib.Path,
+              workdir: pathlib.Path) -> Dict[str, object]:
+    """Run every measurement and write the JSON report to ``output``."""
+    print(f"materializing {model} (offline phase)...", flush=True)
+    artifact, _ = run_offline(model, seed=9600)
+    npz_path = workdir / f"{model}.medusa.npz"
+
+    print(f"timing save/load/restore ({repeats} repeats)...", flush=True)
+    save_p50 = _p50(lambda: save_binary(artifact, npz_path), repeats)
+    eager_load_p50 = _p50(lambda: load_binary(npz_path), repeats)
+    lazy_open_p50 = _p50(lambda: LazyArtifact(npz_path), repeats)
+    object_restore_p50 = _restore_p50(
+        model, lambda: load_binary(npz_path), fast=False, repeats=repeats)
+    fast_restore_p50 = _restore_p50(
+        model, lambda: LazyArtifact(npz_path), fast=True, repeats=repeats)
+
+    print("deriving simulated critical paths per strategy...", flush=True)
+    simulated = _simulated_critical_paths(model, artifact, npz_path)
+
+    report = {
+        "model": model,
+        "repeats": repeats,
+        "artifact": {
+            "graph_nodes": artifact.total_nodes,
+            "replay_events": len(artifact.replay_events),
+            "npz_bytes": npz_path.stat().st_size,
+        },
+        "wallclock_p50_s": {
+            "save_binary": save_p50,
+            "load_binary_eager": eager_load_p50,
+            "lazy_open": lazy_open_p50,
+            # Full load+restore wall-clock: eager deserialize + object-path
+            # restorer vs lazy npz open + vectorized restorer.
+            "load_restore_object_path": object_restore_p50,
+            "load_restore_fast_path": fast_restore_p50,
+        },
+        "speedup": {
+            "load_restore": object_restore_p50 / max(fast_restore_p50, 1e-9),
+            "load": eager_load_p50 / max(lazy_open_p50, 1e-9),
+        },
+        "simulated_critical_path_s": simulated,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[written to {output}]")
+    return report
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="wall-clock restore benchmark (writes BENCH_restore.json)")
+    parser.add_argument("--model", default="Qwen1.5-4B",
+                        help="model to materialize (paper scale: Qwen1.5-4B)")
+    parser.add_argument("--repeats", type=int, default=7,
+                        help="samples per measurement (p50 is reported)")
+    parser.add_argument("--output", default=str(REPO_ROOT /
+                                                "BENCH_restore.json"))
+    parser.add_argument("--workdir", default=None,
+                        help="where the .npz artifact is written "
+                             "(default: a temp directory)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI perf-smoke mode: smaller model, fewer "
+                             "repeats, and --assert-speedup 2.0")
+    parser.add_argument("--assert-speedup", type=float, default=None,
+                        help="exit 1 unless fast-path load+restore beats "
+                             "the object path by this factor")
+    args = parser.parse_args(argv)
+    model, repeats = args.model, args.repeats
+    min_speedup = args.assert_speedup
+    if args.quick:
+        model = "Qwen1.5-0.5B" if args.model == "Qwen1.5-4B" else args.model
+        repeats = min(repeats, 3)
+        min_speedup = 2.0 if min_speedup is None else min_speedup
+
+    if args.workdir is None:
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            report = run_bench(model, repeats, pathlib.Path(args.output),
+                               pathlib.Path(tmp))
+    else:
+        report = run_bench(model, repeats, pathlib.Path(args.output),
+                           pathlib.Path(args.workdir))
+
+    wall = report["wallclock_p50_s"]
+    speedup = report["speedup"]["load_restore"]
+    print(f"load+restore p50: object path "
+          f"{wall['load_restore_object_path'] * 1e3:.1f} ms, fast path "
+          f"{wall['load_restore_fast_path'] * 1e3:.1f} ms "
+          f"({speedup:.1f}x)")
+    if min_speedup is not None and speedup < min_speedup:
+        print(f"FAIL: fast path is only {speedup:.2f}x the object path "
+              f"(required {min_speedup:g}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

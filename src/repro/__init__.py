@@ -31,13 +31,19 @@ Quickstart::
 """
 
 from repro.core import (
+    ArtifactStore,
+    LazyArtifact,
     MaterializedModel,
     OfflinePhase,
     OfflineReport,
     OnlineRestorer,
+    VectorizedRestorer,
     cold_start_for,
+    load_binary,
     medusa_cold_start,
+    prepare_medusa_cold_start,
     run_offline,
+    save_binary,
 )
 from repro.core.validation import validate_restoration
 from repro.engine import ColdStartReport, LLMEngine, Strategy
@@ -69,6 +75,7 @@ from repro.simgpu import CostModel, CudaProcess, ExecutionMode, GpuProperties
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactStore",
     "ClusterSimulator",
     "ColdStartReport",
     "CostModel",
@@ -82,6 +89,7 @@ __all__ = [
     "FaultSpec",
     "GpuProperties",
     "LLMEngine",
+    "LazyArtifact",
     "Rung",
     "MaterializedModel",
     "Model",
@@ -95,10 +103,14 @@ __all__ = [
     "SimulationConfig",
     "Strategy",
     "TINY_MODELS",
+    "VectorizedRestorer",
     "get_model_config",
     "cold_start_for",
+    "load_binary",
     "medusa_cold_start",
     "paper_model_names",
+    "prepare_medusa_cold_start",
     "run_offline",
+    "save_binary",
     "validate_restoration",
 ]

@@ -11,6 +11,12 @@ Mirrors the original artifact's scripts (`scripts/serverless_llm.py
     python -m repro restore   --model Qwen1.5-4B --artifact qwen4b.medusa.json --validate
     python -m repro simulate  --model Llama2-7B  --rps 10 --strategy medusa
 
+Artifact paths ending in ``.npz`` select the binary format: ``offline``
+writes via :func:`repro.core.binfmt.save_binary`, and the consuming
+commands open them lazily (:class:`repro.core.binfmt.LazyArtifact`),
+which puts ``coldstart --strategy medusa``/``restore``/``validate`` on
+the pipelined vectorized fast path.
+
 ``lint`` and ``validate`` share the CI-friendly exit-code convention:
 0 = clean/passed, 1 = diagnostics found or outputs diverged, 2 = the
 artifact could not be read at all.  With ``validate --degraded-ok`` a
@@ -26,6 +32,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.artifact import MaterializedModel
+from repro.core.binfmt import LazyArtifact, save_binary
 from repro.core.offline import run_offline
 from repro.core.online import cold_start_for
 from repro.core.validation import validate_restoration
@@ -55,6 +62,18 @@ def _strategy(name: str) -> Strategy:
             f"unknown strategy {name!r}; choose from "
             f"{', '.join(_STRATEGY_NAMES)}")
     return strategy
+
+
+def _load_artifact(path: str):
+    """Open an artifact path: ``.npz`` lazily, anything else as JSON.
+
+    Binary artifacts come back as :class:`repro.core.binfmt.LazyArtifact`,
+    which routes ``coldstart``/``restore``/``validate`` onto the pipelined
+    fast path (`medusa_cold_start(fast=...)` auto-detects it).
+    """
+    if str(path).endswith(".npz"):
+        return LazyArtifact(path)
+    return MaterializedModel.load(path)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,7 +178,7 @@ def _cmd_coldstart(args) -> int:
         print("error: --strategy medusa requires --artifact "
               "(run `repro offline` first)", file=sys.stderr)
         return 2
-    artifact = MaterializedModel.load(args.artifact) if args.artifact else None
+    artifact = _load_artifact(args.artifact) if args.artifact else None
     _engine, report = cold_start_for(args.model, args.strategy,
                                      artifact=artifact, seed=args.seed)
     _print_report(report)
@@ -180,7 +199,10 @@ def _cmd_save_tensor(args) -> int:
 
 def _cmd_offline(args) -> int:
     artifact, report = run_offline(args.model, seed=args.seed)
-    size = artifact.save(args.output)
+    if str(args.output).endswith(".npz"):
+        size = save_binary(artifact, args.output)
+    else:
+        size = artifact.save(args.output)
     print(f"capturing stage: {report.capture_stage_time:.1f} s (simulated)")
     print(f"analysis stage:  {report.analysis_time:.1f} s (simulated)")
     print(f"materialized {artifact.total_nodes} nodes / "
@@ -190,7 +212,7 @@ def _cmd_offline(args) -> int:
 
 
 def _cmd_restore(args) -> int:
-    artifact = MaterializedModel.load(args.artifact)
+    artifact = _load_artifact(args.artifact)
     _engine, report = cold_start_for(args.model, Strategy.MEDUSA,
                                      artifact=artifact, seed=args.seed)
     _print_report(report)
@@ -203,10 +225,13 @@ def _cmd_restore(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.analysis import lint_file
+    from repro.analysis import lint_artifact, lint_file
     from repro.errors import ArtifactError
     try:
-        report = lint_file(args.artifact)
+        if str(args.artifact).endswith(".npz"):
+            report = lint_artifact(LazyArtifact(args.artifact).materialize())
+        else:
+            report = lint_file(args.artifact)
     except ArtifactError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -224,7 +249,7 @@ def _cmd_validate(args) -> int:
     from repro.reporting import format_diagnostics
 
     try:
-        artifact = MaterializedModel.load(args.artifact)
+        artifact = _load_artifact(args.artifact)
     except ArtifactError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -264,6 +289,12 @@ def _cmd_validate(args) -> int:
         if result.diagnostics:
             print(format_diagnostics("Static diagnostics",
                                      result.diagnostics))
+        cold = result.cold_report
+        if cold is not None:
+            print(format_stage_breakdown(
+                f"Restore stage schedule "
+                f"(plan: {cold.timeline.plan or 'legacy'})",
+                cold.timeline))
     if not result.passed:
         return 1
     if policy is not None and (result.degraded or result.diagnostics):

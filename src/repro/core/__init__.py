@@ -14,16 +14,26 @@ the profiling forwarding and 34/35ths of the capture work.
 """
 
 from repro.core.artifact import MaterializedModel
+from repro.core.binfmt import LazyArtifact, load_binary, save_binary
+from repro.core.fastpath import VectorizedRestorer
 from repro.core.offline import OfflinePhase, OfflineReport, run_offline
 from repro.core.online import (OnlineRestorer, cold_start_for,
-                               medusa_cold_start)
+                               medusa_cold_start,
+                               prepare_medusa_cold_start)
+from repro.core.store import ArtifactStore
 
 __all__ = [
+    "ArtifactStore",
+    "LazyArtifact",
     "MaterializedModel",
     "OfflinePhase",
     "OfflineReport",
     "OnlineRestorer",
+    "VectorizedRestorer",
     "cold_start_for",
+    "load_binary",
     "medusa_cold_start",
+    "prepare_medusa_cold_start",
     "run_offline",
+    "save_binary",
 ]

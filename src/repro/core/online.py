@@ -28,6 +28,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.artifact import MaterializedModel, MaterializedNode, ReplayEvent
+from repro.core.binfmt import LazyArtifact
+from repro.core.fastpath import VectorizedRestorer, resolve_kernel_addresses
 from repro.core.pointer_analysis import CONST, POINTER
 from repro.engine.capture_runner import (
     CaptureArtifacts,
@@ -37,13 +39,11 @@ from repro.engine.capture_runner import (
 )
 from repro.engine.engine import ColdStartReport, LLMEngine
 from repro.engine.kvcache import BlockManager, KVCacheConfig, KVCacheRegion
-from repro.engine.strategies import Strategy
+from repro.engine.strategies import Strategy, pipelined_medusa_plan
 from repro.errors import (
     CudaError,
     MaterializationError,
-    ModuleNotLoadedError,
     RestorationError,
-    SymbolNotFoundError,
     TriggerTimeoutError,
 )
 from repro.faults.ladder import (
@@ -623,70 +623,17 @@ class OnlineRestorer:
         With ``tolerate=True`` (ladder mode) unresolvable kernels are
         collected and returned instead of raising, so the caller can poison
         only the graphs that reference them.  Returns the unresolved set
-        (always empty in strict mode).
+        (always empty in strict mode).  The resolution itself lives in
+        :func:`repro.core.fastpath.resolve_kernel_addresses`, shared with
+        the vectorized restorer.
         """
-        driver = engine.process.driver
-        cm = engine.cost_model
-        table = self._name_to_address
-        # 1) First-layer graph nodes carry fresh addresses (§5.2).
-        for node in first_layer_graph.nodes:
-            table[driver.cu_func_get_name(node.kernel_address)] = \
-                node.kernel_address
-        # 2) dlsym -> cudaGetFuncBySymbol for visible kernels; 3) module
-        # enumeration for the hidden remainder (their modules were loaded by
-        # the triggering kernels).
-        needed = sorted({node.kernel_name
-                         for graph in self.artifact.graphs.values()
-                         for node in graph.nodes} - set(table))
-        enumerated: Dict[Tuple[str, str], Dict[str, int]] = {}
-        unresolved: set = set()
-        for kernel_name in needed:
-            library = self.artifact.kernel_libraries.get(kernel_name)
-            if library is None:
-                if tolerate:
-                    unresolved.add(kernel_name)
-                    continue
-                raise RestorationError(
-                    f"artifact has no library mapping for {kernel_name}")
-            try:
-                symbol = driver.dlsym(library, kernel_name)
-            except SymbolNotFoundError:
-                try:
-                    address = self._enumerate_modules(engine, library,
-                                                      kernel_name, enumerated)
-                except (RestorationError, ModuleNotLoadedError):
-                    if tolerate:
-                        unresolved.add(kernel_name)
-                        continue
-                    raise
-            else:
-                address = driver.cuda_get_func_by_symbol(symbol)
-            table[kernel_name] = address
-        total_enumerated = sum(len(v) for v in enumerated.values())
-        engine.process.clock.advance(
-            cm.module_enumerate_per_kernel * total_enumerated)
-        return unresolved
-
-    def _enumerate_modules(self, engine: LLMEngine, library: str,
-                           kernel_name: str, enumerated) -> int:
-        """cuModuleEnumerateFunctions over loaded modules of ``library``."""
-        driver = engine.process.driver
-        for lib_name, module_name in driver.loaded_modules():
-            if lib_name != library:
-                continue
-            key = (lib_name, module_name)
-            if key not in enumerated:
-                names: Dict[str, int] = {}
-                for address in driver.cu_module_enumerate_functions(
-                        lib_name, module_name):
-                    names[driver.cu_func_get_name(address)] = address
-                enumerated[key] = names
-            address = enumerated[key].get(kernel_name)
-            if address is not None:
-                return address
-        raise RestorationError(
-            f"kernel {kernel_name} is hidden and its module was never "
-            f"loaded — no triggering kernel covered it (§5)")
+        needed = {node.kernel_name
+                  for graph in self.artifact.graphs.values()
+                  for node in graph.nodes}
+        return resolve_kernel_addresses(
+            engine, first_layer_graph, needed,
+            self.artifact.kernel_libraries, self._name_to_address,
+            tolerate=tolerate)
 
     # -- graph assembly -----------------------------------------------------------------
 
@@ -720,27 +667,56 @@ def _verify_input(batch_size: int) -> np.ndarray:
     return grid / PAYLOAD_DIM
 
 
-def medusa_cold_start(config, artifact: MaterializedModel, seed: int = 1,
-                      mode: ExecutionMode = ExecutionMode.TIMING,
-                      cost_model: Optional[CostModel] = None,
-                      kv_config: Optional[KVCacheConfig] = None,
-                      checkpoints=None, injector=None,
-                      policy: Optional[DegradationPolicy] = None
-                      ) -> Tuple[LLMEngine, ColdStartReport]:
-    """One Medusa cold start: fresh process, restore-based loading phase.
+def prepare_medusa_cold_start(config, artifact, seed: int = 1,
+                              mode: ExecutionMode = ExecutionMode.TIMING,
+                              cost_model: Optional[CostModel] = None,
+                              kv_config: Optional[KVCacheConfig] = None,
+                              checkpoints=None, injector=None,
+                              policy: Optional[DegradationPolicy] = None,
+                              fast: Optional[bool] = None):
+    """Build the (engine, restorer) pair for one Medusa cold start.
 
-    ``injector`` threads a :class:`repro.faults.FaultInjector` through the
-    process/driver and the restorer; ``policy`` opts the restorer into the
-    graceful-degradation ladder (see :mod:`repro.faults.ladder`).
+    The path-selection logic in one place: ``artifact`` may be an eager
+    :class:`MaterializedModel` or a :class:`repro.core.binfmt.LazyArtifact`.
+    ``fast=None`` (the default) auto-routes — a lazy artifact with no
+    :class:`~repro.faults.FaultInjector` and no
+    :class:`~repro.faults.DegradationPolicy` gets the pipelined
+    :class:`~repro.core.fastpath.VectorizedRestorer`
+    (``pipelined_medusa_plan`` over its batch sizes); anything needing
+    per-event hooks falls back to the object-path
+    :class:`OnlineRestorer` (materializing the lazy artifact first).
+    ``fast=False`` forces the object path — the comparison baseline
+    ``benchmarks/bench_wallclock.py`` measures; ``fast=True`` with an eager
+    artifact raises, since the vectorized path reads the packed arrays.
+
+    Exposed separately from :func:`medusa_cold_start` so callers (the
+    wall-clock bench) can wrap the restorer before running
+    ``engine.cold_start(restorer=...)``.
     """
     if isinstance(config, str):
         config = get_model_config(config)
     if artifact.model_name != config.name:
         raise RestorationError(
             f"artifact is for {artifact.model_name}, engine wants {config.name}")
+    lazy = isinstance(artifact, LazyArtifact)
+    hooks = (injector is not None and injector.active) or policy is not None
+    if fast is None:
+        fast = lazy and not hooks
+    if fast and not lazy:
+        raise RestorationError(
+            "fast=True needs a binary artifact opened with "
+            "repro.core.binfmt.LazyArtifact (save it with save_binary "
+            "first)")
+    if fast and hooks:
+        # The vectorized path has no per-event injection/ladder hooks;
+        # defer to the object path whenever they are requested.
+        fast = False
+    if lazy and not fast:
+        artifact = artifact.materialize()
+    plan = pipelined_medusa_plan(artifact.batches) if fast else None
     engine = LLMEngine(config, Strategy.MEDUSA, seed=seed, mode=mode,
                        cost_model=cost_model, kv_config=kv_config,
-                       checkpoints=checkpoints, injector=injector)
+                       checkpoints=checkpoints, plan=plan, injector=injector)
     # Artifacts are keyed by <GPU type, model type> (§3): the profiled KV
     # memory and graph structure are only valid on the GPU they came from.
     if artifact.gpu_name != engine.cost_model.gpu.name:
@@ -748,7 +724,34 @@ def medusa_cold_start(config, artifact: MaterializedModel, seed: int = 1,
             f"artifact was materialized on {artifact.gpu_name!r}, this "
             f"engine runs on {engine.cost_model.gpu.name!r} — the offline "
             f"phase is per <GPU type, model type> (§3)")
-    restorer = OnlineRestorer(artifact, injector=injector, policy=policy)
+    if fast:
+        restorer: object = VectorizedRestorer(artifact)
+    else:
+        restorer = OnlineRestorer(artifact, injector=injector, policy=policy)
+    return engine, restorer
+
+
+def medusa_cold_start(config, artifact, seed: int = 1,
+                      mode: ExecutionMode = ExecutionMode.TIMING,
+                      cost_model: Optional[CostModel] = None,
+                      kv_config: Optional[KVCacheConfig] = None,
+                      checkpoints=None, injector=None,
+                      policy: Optional[DegradationPolicy] = None,
+                      fast: Optional[bool] = None
+                      ) -> Tuple[LLMEngine, ColdStartReport]:
+    """One Medusa cold start: fresh process, restore-based loading phase.
+
+    ``injector`` threads a :class:`repro.faults.FaultInjector` through the
+    process/driver and the restorer; ``policy`` opts the restorer into the
+    graceful-degradation ladder (see :mod:`repro.faults.ladder`).
+    ``artifact`` may be eager or a :class:`~repro.core.binfmt.LazyArtifact`;
+    ``fast`` selects the restoration path (see
+    :func:`prepare_medusa_cold_start` for the auto-routing rules).
+    """
+    engine, restorer = prepare_medusa_cold_start(
+        config, artifact, seed=seed, mode=mode, cost_model=cost_model,
+        kv_config=kv_config, checkpoints=checkpoints, injector=injector,
+        policy=policy, fast=fast)
     report = engine.cold_start(restorer=restorer)
     return engine, report
 

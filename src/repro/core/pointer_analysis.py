@@ -81,13 +81,17 @@ class AllocationIndex:
     """
 
     def __init__(self, trace: Trace):
-        # address -> [(seq, alloc_index, size, free_seq)] ascending by seq
-        self._by_address: Dict[int, List[Tuple[int, int, int, float]]] = {}
+        # address -> [(seq, alloc_index, size, free_seq, end)] ascending by
+        # seq; ``end`` = base + size, precomputed once so the lookup loops
+        # compare against a stored bound instead of re-deriving it per entry.
+        self._by_address: Dict[
+            int, List[Tuple[int, int, int, float, int]]] = {}
         freed = trace.freed_alloc_indices()
         for event in trace.allocations():
             free_seq = freed.get(event.alloc_index, float("inf"))
             self._by_address.setdefault(event.address, []).append(
-                (event.seq, event.alloc_index, event.size, free_seq))
+                (event.seq, event.alloc_index, event.size, free_seq,
+                 event.address + event.size))
         self._bases = sorted(self._by_address)
         # prefix_reach[i] = max end address over bases[0..i] — a monotone
         # bound that tells the interior walk when no further base can cover
@@ -95,7 +99,7 @@ class AllocationIndex:
         self._prefix_reach: List[int] = []
         reach = 0
         for base in self._bases:
-            end = max(base + size for _s, _a, size, _f in self._by_address[base])
+            end = max(entry[4] for entry in self._by_address[base])
             reach = max(reach, end)
             self._prefix_reach.append(reach)
 
@@ -109,7 +113,7 @@ class AllocationIndex:
         # live at launch time.
         entries = self._by_address.get(address)
         if entries is not None:
-            for seq, alloc_index, _size, free_seq in reversed(entries):
+            for seq, alloc_index, _size, free_seq, _end in reversed(entries):
                 if seq < before_seq and free_seq >= before_seq:
                     return alloc_index, 0
         # Interior path: walk bases leftward; the first allocation live at
@@ -120,10 +124,10 @@ class AllocationIndex:
             if self._prefix_reach[position] <= address:
                 break
             base = self._bases[position]
-            for seq, alloc_index, size, free_seq in reversed(
+            for seq, alloc_index, _size, free_seq, end in reversed(
                     self._by_address[base]):
                 if (seq < before_seq and free_seq >= before_seq
-                        and base <= address < base + size):
+                        and base <= address < end):
                     return alloc_index, address - base
             position -= 1
             walked += 1
@@ -141,7 +145,7 @@ class AllocationIndex:
         best: Optional[Tuple[int, int, int]] = None
         entries = self._by_address.get(address)
         if entries is not None:
-            seq, alloc_index, _size, _free = entries[0]
+            seq, alloc_index, _size, _free, _end = entries[0]
             best = (seq, alloc_index, 0)
         position = bisect.bisect_right(self._bases, address) - 1
         walked = 0
@@ -149,8 +153,8 @@ class AllocationIndex:
             if self._prefix_reach[position] <= address:
                 break
             base = self._bases[position]
-            for seq, alloc_index, size, _free in self._by_address[base]:
-                if base <= address < base + size:
+            for seq, alloc_index, _size, _free, end in self._by_address[base]:
+                if base <= address < end:
                     if best is None or seq < best[0]:
                         best = (seq, alloc_index, address - base)
                     break   # entries ascend by seq; later ones cannot beat it

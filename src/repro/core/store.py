@@ -4,13 +4,28 @@ The original artifact persists materialized graphs to the SSDs once per
 model and reuses them across cold starts.  This store is that layer: a
 directory of artifact JSON files plus an index, with lookups by GPU and
 model name and staleness checks on the artifact format.
+
+Two caches keep repeated cold starts on one node off the deserialization
+path:
+
+- the **parsed index** is cached against the index file's
+  ``(mtime_ns, size)`` stamp, so a hundred lookups parse ``index.json``
+  once (``index_reads`` counts actual parses);
+- fetched artifacts land in a small in-memory **LRU keyed by the file's
+  content hash** (``cache_size`` entries, 0 disables).  A hit returns the
+  already-deserialized — and, with ``lint_on_load``, already-verified —
+  artifact; treat it as read-only.  The cache is bypassed entirely while a
+  :class:`~repro.faults.FaultInjector` is active, so chaos runs always see
+  freshly corrupted copies.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 import re
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.artifact import MaterializedModel
@@ -26,37 +41,59 @@ def _slug(text: str) -> str:
 class ArtifactStore:
     """Materialization artifacts for many models on one storage path."""
 
-    def __init__(self, root, lint_on_load: bool = False, injector=None):
+    def __init__(self, root, lint_on_load: bool = False, injector=None,
+                 cache_size: int = 4):
         """``lint_on_load``: statically verify every artifact fetched with
         :meth:`get` (see :mod:`repro.analysis`) and raise
         :class:`~repro.errors.LintError` on error-severity diagnostics —
         the SSD copy may be corrupt, hand-edited, or version-skewed even
-        when the index entry looks fine.
+        when the index entry looks fine.  With the LRU enabled the check
+        runs once per distinct file content (lint-once): a cache hit is by
+        definition the artifact that already passed.
 
         ``injector``: optional :class:`repro.faults.FaultInjector`; its
         ARTIFACT_CORRUPTION faults mutate artifacts as they come off the
         store, simulating a stale/bit-rotted SSD copy whose index entry
-        still looks fine."""
+        still looks fine.
+
+        ``cache_size``: in-memory LRU capacity in artifacts (content-hash
+        keyed); 0 disables caching entirely."""
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.lint_on_load = lint_on_load
         self.injector = injector
+        self.cache_size = cache_size
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.index_reads = 0
         self._index_path = self.root / _INDEX_NAME
+        self._index_cache: Optional[
+            Tuple[Tuple[int, int], Dict[str, str]]] = None
+        self._cache: "OrderedDict[str, MaterializedModel]" = OrderedDict()
 
     # -- index ------------------------------------------------------------
 
     def _read_index(self) -> Dict[str, str]:
         if not self._index_path.exists():
             return {}
+        stat = self._index_path.stat()
+        stamp = (stat.st_mtime_ns, stat.st_size)
+        if self._index_cache is not None and self._index_cache[0] == stamp:
+            return dict(self._index_cache[1])
+        self.index_reads += 1
         try:
-            return json.loads(self._index_path.read_text())
+            parsed = json.loads(self._index_path.read_text())
         except json.JSONDecodeError as exc:
             raise ArtifactError(
                 f"artifact store index at {self._index_path} is corrupt: "
                 f"{exc}") from exc
+        self._index_cache = (stamp, parsed)
+        return dict(parsed)
 
     def _write_index(self, index: Dict[str, str]) -> None:
         self._index_path.write_text(json.dumps(index, indent=2, sort_keys=True))
+        stat = self._index_path.stat()
+        self._index_cache = ((stat.st_mtime_ns, stat.st_size), dict(index))
 
     @staticmethod
     def _key(gpu_name: str, model_name: str) -> str:
@@ -75,13 +112,32 @@ class ArtifactStore:
         return path
 
     def get(self, gpu_name: str, model_name: str) -> MaterializedModel:
+        """Fetch one artifact (through the LRU unless an injector is live)."""
         index = self._read_index()
         filename = index.get(self._key(gpu_name, model_name))
         if filename is None:
             raise ArtifactError(
                 f"no materialization for <{gpu_name}, {model_name}> in "
                 f"{self.root}; run the offline phase first")
-        artifact = MaterializedModel.load(self.root / filename)
+        path = self.root / filename
+        caching = self.cache_size > 0 and not (
+            self.injector is not None and self.injector.active)
+        digest = None
+        if caching:
+            try:
+                payload = path.read_bytes()
+            except FileNotFoundError as exc:
+                raise ArtifactError(
+                    f"indexed artifact file {filename} is missing from "
+                    f"{self.root}") from exc
+            digest = hashlib.sha256(payload).hexdigest()
+            cached = self._cache.get(digest)
+            if cached is not None:
+                self._cache.move_to_end(digest)
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+        artifact = MaterializedModel.load(path)
         if self.injector is not None and self.injector.active:
             artifact = self.injector.corrupted_artifact(artifact)
         if self.lint_on_load:
@@ -92,9 +148,24 @@ class ArtifactStore:
                     f"stored artifact {filename} failed static "
                     f"verification with {len(report.errors)} error(s): "
                     f"{', '.join(report.codes())}", report=report)
+        if caching:
+            self._cache[digest] = artifact
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
         return artifact
 
+    def cache_info(self) -> Dict[str, int]:
+        """Counters for the artifact LRU and the parsed-index cache."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._cache),
+            "capacity": self.cache_size,
+            "index_reads": self.index_reads,
+        }
+
     def has(self, gpu_name: str, model_name: str) -> bool:
+        """Whether an artifact for the pair is indexed."""
         return self._key(gpu_name, model_name) in self._read_index()
 
     def list(self) -> List[Tuple[str, str]]:
@@ -106,6 +177,7 @@ class ArtifactStore:
         return pairs
 
     def delete(self, gpu_name: str, model_name: str) -> None:
+        """Remove an artifact and its index entry."""
         index = self._read_index()
         filename = index.pop(self._key(gpu_name, model_name), None)
         if filename is None:

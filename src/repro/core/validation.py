@@ -35,6 +35,9 @@ class ValidationReport:
     # DegradationReport when the restore walked the ladder (see
     # repro.faults.ladder); None on a strict validation run.
     degradation: Optional[object] = None
+    # The ColdStartReport from the restore this validation exercised, so
+    # callers (``repro validate``) can print the per-stage schedule.
+    cold_report: Optional[object] = None
 
     @property
     def passed(self) -> bool:
@@ -74,12 +77,19 @@ def validate_restoration(config, artifact: MaterializedModel,
     :class:`DegradationReport` lands on ``report.degradation``.
     ``injector`` threads a :class:`repro.faults.FaultInjector` through
     (chaos testing).
+
+    ``artifact`` may be a :class:`repro.core.binfmt.LazyArtifact`; the
+    restore then runs on the vectorized fast path (unless hooks force the
+    object path), and static lint checks a materialized copy.
     """
     report = ValidationReport(model=artifact.model_name)
     degraded_ok = policy is not None
     if static_lint:
         from repro.analysis import lint_artifact
-        lint = lint_artifact(artifact)
+        from repro.core.binfmt import LazyArtifact
+        lint_target = artifact.materialize() \
+            if isinstance(artifact, LazyArtifact) else artifact
+        lint = lint_artifact(lint_target)
         report.diagnostics = list(lint.diagnostics)
         if lint.errors and not degraded_ok:
             raise ValidationError(
@@ -91,6 +101,7 @@ def validate_restoration(config, artifact: MaterializedModel,
         cost_model=cost_model, kv_config=kv_config,
         injector=injector, policy=policy)
     report.degradation = getattr(cold, "degradation", None)
+    report.cold_report = cold
     check_batches = list(batches) if batches is not None else \
         [min(artifact.graphs)]
     if degraded_ok:

@@ -68,6 +68,16 @@ class ColdStartReport:
         return self.timeline.total
 
     @property
+    def ready_time(self) -> float:
+        """Loading time until the instance can serve (foreground stages).
+
+        With a pipelined plan the background ``restore_graph`` stages
+        finish behind this instant (``ready_time < loading_time``); equal
+        to :attr:`loading_time` for plans without background stages.
+        """
+        return self.timeline.ready
+
+    @property
     def cold_start_time(self) -> float:
         """Full cold start: runtime init + loading + generating first token."""
         return self.runtime_init_time + self.loading_time + self.first_token_time

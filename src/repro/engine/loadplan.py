@@ -40,6 +40,15 @@ CAPTURE = "capture"
 #: restore tail (alloc replay + node fill + module enumeration + instantiate).
 MEDUSA_WARMUP = "medusa_warmup"
 MEDUSA_RESTORE = "medusa_restore"
+#: Pipelined-restore stages: artifact I/O on the DISK lane, the allocation
+#: replay on the CPU lane, and one restore stage per captured batch size.
+FETCH_ARTIFACT = "fetch_artifact"
+REPLAY_ALLOC = "replay_alloc"
+
+
+def restore_graph_stage(batch_size: int) -> str:
+    """The per-graph restore stage name for one captured batch size."""
+    return f"restore_graph[{batch_size}]"
 
 #: Numerical slack for "these instants coincide" on the critical-path walk.
 _EPS = 1e-9
@@ -55,6 +64,10 @@ class PlanStage:
     ``required`` stages must have a measured duration; optional stages
     default to zero and still occupy a timeline slot (matching the legacy
     composition's behavior for absent KV/capture durations).
+    ``background`` stages run after the instance is already able to serve
+    (pipelined restore of non-first batch sizes): they extend
+    ``Timeline.total`` but not ``Timeline.ready``, and are excluded from
+    the critical path, which is walked back from the ready instant.
     """
 
     name: str
@@ -63,6 +76,7 @@ class PlanStage:
     action: str = ""
     required: bool = False
     contention: Optional[Contention] = None
+    background: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -87,6 +101,7 @@ class ScheduledStage:
     end: float
     lane: str = ""
     critical: bool = False
+    background: bool = False
 
     @property
     def duration(self) -> float:
@@ -109,6 +124,20 @@ class Timeline:
     @property
     def total(self) -> float:
         return max((stage.end for stage in self.stages), default=0.0)
+
+    @property
+    def ready(self) -> float:
+        """When the instance can serve its first request.
+
+        The makespan over *foreground* stages only: background stages
+        (pipelined restore of non-first batch sizes) finish behind the
+        serving-ready instant.  Equals :attr:`total` for plans without
+        background stages.
+        """
+        foreground = [s.end for s in self.stages if not s.background]
+        if not foreground:
+            return self.total
+        return max(foreground)
 
     def stage(self, name: str) -> ScheduledStage:
         """O(1) lookup by stage name (stages are indexed once)."""
@@ -248,7 +277,8 @@ class LoadPlan:
             lane_free[stage.lane] = end
             lane_prev[stage.lane] = stage.name
             placed.append(ScheduledStage(stage.name, start, end,
-                                         lane=stage.lane.label))
+                                         lane=stage.lane.label,
+                                         background=stage.background))
         return Timeline(strategy, _mark_critical(placed, blockers),
                         plan=self.name)
 
@@ -283,12 +313,19 @@ def _mark_critical(placed: Sequence[ScheduledStage],
     exact-coincidence links backward from the stages that end at the
     makespan recovers the critical path(s), whose summed durations equal
     the timeline total by construction.
+
+    Background stages (pipelined restore of non-first batch sizes) are
+    neither seeds nor ever critical: the makespan that matters is the
+    *ready* instant — the latest foreground end — since everything behind
+    it happens while the instance already serves.
     """
     if not placed:
         return []
     by_name = {stage.name: stage for stage in placed}
-    makespan = max(stage.end for stage in placed)
-    critical = {stage.name for stage in placed
+    foreground = [stage for stage in placed if not stage.background]
+    makespan = max(stage.end for stage in foreground) if foreground \
+        else max(stage.end for stage in placed)
+    critical = {stage.name for stage in foreground
                 if abs(stage.end - makespan) <= _EPS}
     frontier = list(critical)
     while frontier:
@@ -296,9 +333,10 @@ def _mark_critical(placed: Sequence[ScheduledStage],
         stage = by_name[name]
         for pred_name in blockers.get(name, ()):
             pred = by_name[pred_name]
-            if pred_name not in critical \
+            if pred_name not in critical and not pred.background \
                     and abs(pred.end - stage.start) <= _EPS:
                 critical.add(pred_name)
                 frontier.append(pred_name)
     return [ScheduledStage(s.name, s.start, s.end, lane=s.lane,
-                           critical=s.name in critical) for s in placed]
+                           critical=s.name in critical,
+                           background=s.background) for s in placed]

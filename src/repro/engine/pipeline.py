@@ -19,15 +19,18 @@ from typing import Dict
 
 from repro.engine.loadplan import (   # noqa: F401  (re-exported names)
     CAPTURE,
+    FETCH_ARTIFACT,
     KV_INIT,
     MEDUSA_RESTORE,
     MEDUSA_WARMUP,
+    REPLAY_ALLOC,
     STRUCTURE,
     TOKENIZER,
     WEIGHTS,
     LoadPlan,
     PlanStage,
     ScheduledStage,
+    restore_graph_stage,
     Timeline,
 )
 from repro.engine.strategies import Strategy, plan_for

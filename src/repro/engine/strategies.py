@@ -25,19 +25,22 @@ loading) are pure plan definitions — no engine or scheduler edits.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro.engine.lanes import CPU, DISK, GPU_COMPUTE, PCIE, Contention
 from repro.engine.loadplan import (
     CAPTURE,
+    FETCH_ARTIFACT,
     KV_INIT,
     MEDUSA_RESTORE,
     MEDUSA_WARMUP,
+    REPLAY_ALLOC,
     STRUCTURE,
     TOKENIZER,
     WEIGHTS,
     LoadPlan,
     PlanStage,
+    restore_graph_stage,
 )
 from repro.errors import EngineError
 
@@ -173,6 +176,55 @@ MEDUSA_PLAN = register_plan(LoadPlan(
     ),
     description="Materialized restore: KV + graphs from the artifact (§3)."),
     strategy=Strategy.MEDUSA)
+
+def pipelined_medusa_plan(batch_sizes: Sequence[int],
+                          name: str = "medusa-pipelined") -> LoadPlan:
+    """The pipelined Medusa plan for one artifact's captured batch sizes.
+
+    Splits the monolithic ``medusa_restore`` tail into ``fetch_artifact``
+    (DISK lane — opening/indexing the binary artifact overlaps structure
+    init), ``replay_alloc`` (CPU — the recorded (de)allocation replay), and
+    one ``restore_graph[bs]`` stage per captured batch size.  Only the
+    first-request batch size — the *largest*, so every request can pad to
+    it — restores in the foreground; the remaining graphs are
+    ``background=True`` stages that finish behind the serving-ready
+    instant, which is what shortens the critical path
+    (``Timeline.ready`` < ``Timeline.total``, §7.3).
+
+    Built per artifact (the stage set depends on its batch sizes), so the
+    result is passed to ``LLMEngine(plan=...)`` rather than registered;
+    :data:`Strategy.MEDUSA`'s registered default stays the monolithic
+    :data:`MEDUSA_PLAN`.
+    """
+    batches = sorted(set(batch_sizes), reverse=True)
+    if not batches:
+        raise EngineError("pipelined Medusa plan needs at least one "
+                          "captured batch size")
+    stages = [
+        PlanStage(STRUCTURE, CPU, required=True),
+        PlanStage(FETCH_ARTIFACT, DISK),
+        PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True),
+        PlanStage(TOKENIZER, CPU, deps=(STRUCTURE,), required=True),
+        PlanStage(KV_INIT, GPU_COMPUTE, deps=(STRUCTURE, FETCH_ARTIFACT),
+                  action="restore_kv"),
+        PlanStage(REPLAY_ALLOC, CPU, deps=(KV_INIT, FETCH_ARTIFACT)),
+        PlanStage(MEDUSA_WARMUP, GPU_COMPUTE, deps=(REPLAY_ALLOC,),
+                  action="restore_warmup"),
+        PlanStage(restore_graph_stage(batches[0]), GPU_COMPUTE,
+                  deps=(MEDUSA_WARMUP, WEIGHTS, TOKENIZER)),
+    ]
+    prev = restore_graph_stage(batches[0])
+    for batch in batches[1:]:
+        stage = restore_graph_stage(batch)
+        stages.append(PlanStage(stage, GPU_COMPUTE, deps=(prev,),
+                                background=True))
+        prev = stage
+    return LoadPlan(
+        name, tuple(stages),
+        description="Pipelined materialized restore: lazy artifact fetch, "
+                    "replayed allocations, first graph foreground, the "
+                    "rest behind the ready instant.")
+
 
 #: Demonstration plan (not tied to a Strategy): the tokenizer is a pure
 #: disk/CPU-parse stage with no dependency on the model structure, so it

@@ -59,15 +59,31 @@ def format_diagnostics(title: str, diagnostics: Sequence) -> str:
 def format_stage_breakdown(title: str, timeline) -> str:
     """Render a cold-start timeline's per-stage schedule as one table.
 
-    One row per scheduled stage: name, resource lane, start/end (simulated
-    seconds), and whether the stage lies on the critical path — the
-    LoadPlan trace surfaced in the ``repro coldstart``/``restore`` tables.
+    One row per scheduled stage: name, resource lane, start/end/duration
+    (simulated seconds), and flags — ``*`` for critical-path stages, ``bg``
+    for background stages that finish behind the serving-ready instant
+    (the pipelined ``restore_graph`` tail) — the LoadPlan trace surfaced in
+    the ``repro coldstart``/``restore``/``validate`` tables.  When the two
+    instants differ, ready/total footer lines make the shortened critical
+    path visible in text output.
     """
+    def flags(stage) -> str:
+        if getattr(stage, "background", False):
+            return "bg"
+        return "*" if stage.critical else ""
+
     rows = [[stage.name, stage.lane or "-", stage.start, stage.end,
-             "*" if stage.critical else ""]
+             stage.duration, flags(stage)]
             for stage in timeline.stages]
-    return format_table(
-        title, ["stage", "lane", "start (s)", "end (s)", "critical"], rows)
+    table = format_table(
+        title,
+        ["stage", "lane", "start (s)", "end (s)", "duration (s)", "flags"],
+        rows)
+    ready = getattr(timeline, "ready", timeline.total)
+    if abs(ready - timeline.total) > 1e-12:
+        table += (f"\nready (serving) at {ready:.4f} s; background restore "
+                  f"finishes at {timeline.total:.4f} s")
+    return table
 
 
 def format_series(title: str, series: Dict[str, Sequence[Cell]],

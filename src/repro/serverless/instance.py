@@ -34,6 +34,11 @@ class ColdStartProfile:
     """
 
     loading_time: float
+    #: Foreground loading time — when the instance can take its first
+    #: request.  With a pipelined restore plan this is earlier than
+    #: ``loading_time`` (background graphs finish behind it); 0.0 (legacy
+    #: profiles) means "same as loading_time".
+    ready_time: float = 0.0
     use_cuda_graphs: bool = True
     deferred_capture: bool = False   # §2.4: capture lazily while serving
     timeline: Optional[object] = None   # repro.engine.Timeline, if known
@@ -52,11 +57,17 @@ class ColdStartProfile:
             degraded_rung = degradation.rung_name
         return cls(
             loading_time=report.loading_time,
+            ready_time=getattr(report, "ready_time", 0.0),
             use_cuda_graphs=strategy.uses_cuda_graphs,
             deferred_capture=strategy is Strategy.DEFERRED,
             timeline=report.timeline,
             degraded_rung=degraded_rung,
         )
+
+    @property
+    def serving_ready_time(self) -> float:
+        """The cold-start latency the simulator charges before serving."""
+        return self.ready_time if self.ready_time > 0 else self.loading_time
 
 
 @dataclass(frozen=True)

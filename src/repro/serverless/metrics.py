@@ -22,6 +22,11 @@ class SimulationMetrics:
     # instance still serves, but its loading phase lost the full restore).
     degraded_cold_starts: int = 0
     degraded_rungs: Dict[str, int] = field(default_factory=dict)
+    # Artifact-store LRU outcomes for the cold starts that fetched through
+    # a store (SimulationConfig.artifact_store): a hit skips deserialization
+    # and static lint entirely (see repro.core.store.ArtifactStore).
+    store_cache_hits: int = 0
+    store_cache_misses: int = 0
     provisioned_gpu_seconds: float = 0.0   # ready time across instances
     busy_gpu_seconds: float = 0.0          # time instances spent serving
 
@@ -31,6 +36,13 @@ class SimulationMetrics:
     def record_degraded_cold_start(self, rung: str) -> None:
         self.degraded_cold_starts += 1
         self.degraded_rungs[rung] = self.degraded_rungs.get(rung, 0) + 1
+
+    def record_store_cache(self, hit: bool) -> None:
+        """Count one artifact-store fetch as an LRU hit or miss."""
+        if hit:
+            self.store_cache_hits += 1
+        else:
+            self.store_cache_misses += 1
 
     def record_completion(self, latency: float,
                           in_horizon: bool = True) -> None:
@@ -76,5 +88,7 @@ class SimulationMetrics:
             "throughput": self.throughput,
             "cold_starts": float(self.cold_starts),
             "degraded_cold_starts": float(self.degraded_cold_starts),
+            "store_cache_hits": float(self.store_cache_hits),
+            "store_cache_misses": float(self.store_cache_misses),
         })
         return report

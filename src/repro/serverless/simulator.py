@@ -45,6 +45,12 @@ class SimulationConfig:
     keep_alive: float = 20.0              # idle seconds before retiring
     drain: bool = True                    # serve queued work past the horizon
     profile: Optional[ColdStartProfile] = None   # plan trace, if derived
+    #: Optional ArtifactStore(-like) object fetched from on every cold
+    #: start, with ``artifact_key = (gpu_name, model_name)``: models
+    #: repeated cold starts on one node hitting the store's in-memory LRU,
+    #: surfaced as store_cache_hits/misses in the metrics.
+    artifact_store: Optional[object] = None
+    artifact_key: Optional[Tuple[str, str]] = None
 
     def __post_init__(self) -> None:
         if self.num_gpus <= 0:
@@ -63,7 +69,7 @@ class SimulationConfig:
         scenario fields (``num_gpus``, ``hot_spares``, ...).
         """
         profile = ColdStartProfile.from_report(report)
-        return cls(cold_start_latency=profile.loading_time,
+        return cls(cold_start_latency=profile.serving_ready_time,
                    use_cuda_graphs=profile.use_cuda_graphs,
                    deferred_capture=profile.deferred_capture,
                    profile=profile, **overrides)
@@ -112,6 +118,12 @@ class ClusterSimulator:
             if profile is not None and profile.degraded_rung:
                 self.metrics.record_degraded_cold_start(
                     profile.degraded_rung)
+            store = self.config.artifact_store
+            if store is not None and self.config.artifact_key is not None:
+                hits_before = store.cache_hits
+                store.get(*self.config.artifact_key)
+                self.metrics.record_store_cache(
+                    hit=store.cache_hits > hits_before)
         self._push(instance.ready_at, _INSTANCE_READY, instance)
         return instance
 

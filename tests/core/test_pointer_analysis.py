@@ -194,3 +194,42 @@ class TestAnalyzeGraphParams:
         bad, _ = analyze_graph_params(index, trace.launches(), naive=True)
         assert good[0][0].alloc_index == 1
         assert bad[0][0].alloc_index == 0   # the false positive
+
+
+class TestIndexScaling:
+    """The precomputed interval ends keep lookups near-linear in trace size.
+
+    10x the launches must cost well under quadratic growth; the bound (15x,
+    i.e. ~n log n with generous timer noise headroom) regresses if the
+    per-query work rescans or re-derives allocation extents.
+    """
+
+    def _query_time(self, n):
+        import time
+        events = []
+        addresses = []
+        for i in range(n):
+            address = HEAP + i * 512
+            addresses.append(address)
+            events.append(alloc(i, i, address, size=256))
+        for i in range(n):
+            # Half exact hits, half interior (per-layer-KV-style) hits.
+            offset = 0 if i % 2 == 0 else 128
+            events.append(launch(n + i, [addresses[i] + offset]))
+        index = AllocationIndex(Trace(events=events))
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for i in range(n):
+                offset = 0 if i % 2 == 0 else 128
+                match = index.backward_match(addresses[i] + offset, n + i)
+                assert match == (i, offset)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def test_ten_x_launches_scale_subquadratically(self):
+        small = self._query_time(500)
+        large = self._query_time(5000)
+        assert large <= 15 * max(small, 1e-5), (
+            f"10x launches cost {large / max(small, 1e-9):.1f}x "
+            f"({small:.4f}s -> {large:.4f}s)")

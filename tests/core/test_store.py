@@ -63,3 +63,108 @@ class TestArtifactStore:
         _engine, report = medusa_cold_start(
             "Tiny-2L", loaded, seed=5, cost_model=tiny_cost_model())
         assert report.loading_time > 0
+
+
+class TestStoreCaches:
+    """The parsed-index cache and the content-hash artifact LRU."""
+
+    def test_hundred_gets_read_index_once(self, tmp_path, tiny2l_artifact):
+        artifact, _ = tiny2l_artifact
+        ArtifactStore(tmp_path).put(artifact)
+        store = ArtifactStore(tmp_path)   # fresh instance, cold caches
+        for _ in range(100):
+            store.get(artifact.gpu_name, artifact.model_name)
+        assert store.index_reads == 1
+
+    def test_index_cache_invalidates_on_write(self, tmp_path,
+                                              tiny2l_artifact,
+                                              tiny4l_artifact):
+        a2, _ = tiny2l_artifact
+        a4, _ = tiny4l_artifact
+        reader = ArtifactStore(tmp_path)
+        ArtifactStore(tmp_path).put(a2)
+        reader.get(a2.gpu_name, a2.model_name)
+        assert reader.index_reads == 1
+        # A second writer updates index.json behind the reader's back;
+        # the (mtime_ns, size) stamp must force a re-parse.
+        ArtifactStore(tmp_path).put(a4)
+        reader.get(a4.gpu_name, a4.model_name)
+        assert reader.index_reads == 2
+
+    def test_lru_hit_and_miss_counters(self, tmp_path, tiny2l_artifact):
+        artifact, _ = tiny2l_artifact
+        store = ArtifactStore(tmp_path)
+        store.put(artifact)
+        first = store.get(artifact.gpu_name, artifact.model_name)
+        second = store.get(artifact.gpu_name, artifact.model_name)
+        assert second is first            # the deserialized object itself
+        info = store.cache_info()
+        assert (info["hits"], info["misses"], info["entries"]) == (1, 1, 1)
+
+    def test_rewrite_same_content_still_hits(self, tmp_path,
+                                             tiny2l_artifact):
+        artifact, _ = tiny2l_artifact
+        store = ArtifactStore(tmp_path)
+        store.put(artifact)
+        store.get(artifact.gpu_name, artifact.model_name)
+        store.put(artifact)               # same bytes, new mtime
+        store.get(artifact.gpu_name, artifact.model_name)
+        assert store.cache_hits == 1      # content hash, not file stamp
+
+    def test_lru_evicts_oldest(self, tmp_path, tiny2l_artifact,
+                               tiny4l_artifact):
+        a2, _ = tiny2l_artifact
+        a4, _ = tiny4l_artifact
+        store = ArtifactStore(tmp_path, cache_size=1)
+        store.put(a2)
+        store.put(a4)
+        store.get(a2.gpu_name, a2.model_name)
+        store.get(a4.gpu_name, a4.model_name)   # evicts a2
+        store.get(a2.gpu_name, a2.model_name)   # miss again
+        info = store.cache_info()
+        assert info["entries"] == 1
+        assert info["misses"] == 3
+        assert info["hits"] == 0
+
+    def test_cache_size_zero_disables(self, tmp_path, tiny2l_artifact):
+        artifact, _ = tiny2l_artifact
+        store = ArtifactStore(tmp_path, cache_size=0)
+        store.put(artifact)
+        first = store.get(artifact.gpu_name, artifact.model_name)
+        second = store.get(artifact.gpu_name, artifact.model_name)
+        assert second is not first
+        assert store.cache_info()["entries"] == 0
+
+    def test_lint_runs_once_per_content(self, tmp_path, tiny2l_artifact,
+                                        monkeypatch):
+        import repro.analysis as analysis
+        artifact, _ = tiny2l_artifact
+        calls = []
+        real = analysis.lint_artifact
+        monkeypatch.setattr(analysis, "lint_artifact",
+                            lambda a: calls.append(a) or real(a))
+        store = ArtifactStore(tmp_path, lint_on_load=True)
+        store.put(artifact)
+        for _ in range(5):
+            store.get(artifact.gpu_name, artifact.model_name)
+        assert len(calls) == 1            # lint-once: hits skip the verifier
+
+    def test_active_injector_bypasses_cache(self, tmp_path,
+                                            tiny2l_artifact):
+        from repro.faults import (
+            FaultInjector,
+            FaultKind,
+            FaultPlan,
+            FaultSpec,
+        )
+        artifact, _ = tiny2l_artifact
+        spec = FaultSpec(kind=FaultKind.ARTIFACT_CORRUPTION)
+        injector = FaultInjector(FaultPlan(seed=3, faults=(spec,)))
+        store = ArtifactStore(tmp_path, injector=injector)
+        store.put(artifact)
+        first = store.get(artifact.gpu_name, artifact.model_name)
+        second = store.get(artifact.gpu_name, artifact.model_name)
+        assert second is not first        # fresh corrupted copy every fetch
+        info = store.cache_info()
+        assert info["entries"] == 0
+        assert info["hits"] == info["misses"] == 0

@@ -322,3 +322,51 @@ class TestTimelineIndex:
     def test_empty_timeline_miss(self):
         with pytest.raises(EngineError, match="<none>"):
             Timeline(None, []).stage("a")
+
+
+class TestBackgroundStages:
+    """Pipelined background stages: off the critical path, behind ready."""
+
+    def _plan(self):
+        return LoadPlan("bg-test", (
+            PlanStage("a", Lane.CPU, required=True),
+            PlanStage("b", Lane.GPU_COMPUTE, deps=("a",), required=True),
+            PlanStage("tail1", Lane.GPU_COMPUTE, deps=("b",),
+                      background=True),
+            PlanStage("tail2", Lane.GPU_COMPUTE, deps=("tail1",),
+                      background=True),
+        ))
+
+    def test_ready_excludes_background_tail(self):
+        timeline = self._plan().schedule(
+            {"a": 1.0, "b": 0.5, "tail1": 0.3, "tail2": 0.2})
+        assert timeline.ready == pytest.approx(1.5)
+        assert timeline.total == pytest.approx(2.0)
+
+    def test_background_never_critical(self):
+        timeline = self._plan().schedule(
+            {"a": 1.0, "b": 0.5, "tail1": 0.3, "tail2": 0.2})
+        flags = {s.name: (s.critical, s.background) for s in timeline.stages}
+        assert flags["a"] == (True, False)
+        assert flags["b"] == (True, False)
+        assert flags["tail1"] == (False, True)
+        assert flags["tail2"] == (False, True)
+
+    def test_foreground_only_plan_ready_equals_total(self):
+        plan = LoadPlan("fg-test", (PlanStage("a", Lane.CPU, required=True),))
+        timeline = plan.schedule({"a": 1.0})
+        assert timeline.ready == timeline.total == pytest.approx(1.0)
+
+    def test_pipelined_medusa_plan_shape(self):
+        from repro.engine.loadplan import (
+            FETCH_ARTIFACT,
+            REPLAY_ALLOC,
+            restore_graph_stage,
+        )
+        from repro.engine.strategies import pipelined_medusa_plan
+        plan = pipelined_medusa_plan([1, 2, 4, 8])
+        assert FETCH_ARTIFACT in plan
+        assert REPLAY_ALLOC in plan
+        assert not plan.stage(restore_graph_stage(8)).background
+        for batch in (4, 2, 1):
+            assert plan.stage(restore_graph_stage(batch)).background

@@ -93,3 +93,28 @@ class TestConfigValidation:
             SimulationConfig(num_gpus=0)
         with pytest.raises(InvalidValueError):
             SimulationConfig(num_gpus=1, initial_instances=2)
+
+
+class TestArtifactStoreWiring:
+    def test_cold_starts_fetch_through_store(self, costs, tmp_path,
+                                             tiny2l_artifact):
+        from repro.core.store import ArtifactStore
+        artifact, _ = tiny2l_artifact
+        store = ArtifactStore(tmp_path)
+        store.put(artifact)
+        key = (artifact.gpu_name, artifact.model_name)
+        metrics, _sim = simulate(costs, rps=2, duration=60,
+                                 cold_start_latency=2.0,
+                                 artifact_store=store, artifact_key=key)
+        fetches = metrics.store_cache_hits + metrics.store_cache_misses
+        assert fetches == metrics.cold_starts >= 1
+        # First fetch deserializes; repeats on this node hit the LRU.
+        assert metrics.store_cache_misses == 1
+        summary = metrics.summary()
+        assert summary["store_cache_hits"] == float(metrics.store_cache_hits)
+        assert summary["store_cache_misses"] == 1.0
+
+    def test_no_store_records_no_cache_traffic(self, costs):
+        metrics, _sim = simulate(costs, rps=2, duration=60,
+                                 cold_start_latency=2.0)
+        assert metrics.store_cache_hits == metrics.store_cache_misses == 0

@@ -15,6 +15,13 @@ from repro.analysis.diagnostics import (
     LintReport,
     WARNING,
 )
+from repro.analysis.effects import (
+    DEFAULT_EFFECTS,
+    Effects,
+    default_effects,
+    is_known_action,
+    resolve_effects,
+)
 from repro.analysis.liveness import (
     AllocationRecord,
     LivenessResult,
@@ -22,6 +29,12 @@ from repro.analysis.liveness import (
     SUPERSEDED,
     UNMAPPED,
     analyze_replay,
+)
+from repro.analysis.planlint import (
+    concurrent_pairs,
+    happens_before,
+    lint_plan,
+    lint_registered_plans,
 )
 
 __all__ = [

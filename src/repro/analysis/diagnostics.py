@@ -67,6 +67,28 @@ CODES: Dict[str, CodeInfo] = {info.code: info for info in (
     CodeInfo("MED043", "kernel parameter layout diverges across instances",
              "§4.1", WARNING),
     CodeInfo("MED044", "capture marker out of range", "§4.3", ERROR),
+    # -- plan-level schedule verification (§7.3) ------------------------
+    # Emitted by repro.analysis.planlint over LoadPlan stage graphs:
+    # races between stages the lane scheduler may overlap, unresolvable
+    # bindings, and structural/perf advisories.
+    CodeInfo("PLN001", "write-write race between concurrent stages",
+             "§7.3", ERROR),
+    CodeInfo("PLN002", "read-write race between concurrent stages",
+             "§7.3", ERROR),
+    CodeInfo("PLN003", "background stage writes state an unordered "
+             "foreground stage reads", "§7.3", ERROR),
+    CodeInfo("PLN004", "stage action unresolvable against the action "
+             "registry", "§7.3", ERROR),
+    CodeInfo("PLN005", "contention partner stage not in the plan",
+             "§7.3", ERROR),
+    CodeInfo("PLN006", "contention penalty key unresolvable against the "
+             "cost model", "§7.3", ERROR),
+    CodeInfo("PLN007", "dead stage: writes nothing and nothing depends "
+             "on it", "§7.3", WARNING),
+    CodeInfo("PLN008", "redundant dependency already implied by another",
+             "§7.3", WARNING),
+    CodeInfo("PLN009", "lane bubble: stage serialized behind a "
+             "later-ready lane neighbor", "§7.3", WARNING),
 )}
 
 
@@ -108,6 +130,9 @@ class LintReport:
     passes: List[str] = field(default_factory=list)
     diagnostics: List[Diagnostic] = field(default_factory=list)
     stats: Dict[str, float] = field(default_factory=dict)
+    #: What was analyzed — "artifact" (default) or "plan"; only affects
+    #: the human-readable clean line in :meth:`format_text`.
+    subject: str = "artifact"
 
     def extend(self, diagnostics: List[Diagnostic]) -> None:
         self.diagnostics.extend(diagnostics)
@@ -145,7 +170,7 @@ class LintReport:
         lines = [head]
         lines.extend(d.render() for d in self.diagnostics)
         if self.clean:
-            lines.append("artifact is clean")
+            lines.append(f"{self.subject} is clean")
         return "\n".join(lines)
 
     def to_json(self) -> str:

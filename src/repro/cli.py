@@ -7,6 +7,7 @@ Mirrors the original artifact's scripts (`scripts/serverless_llm.py
     python -m repro coldstart --model Qwen1.5-4B --strategy vllm
     python -m repro offline   --model Qwen1.5-4B --output qwen4b.medusa.json
     python -m repro lint      qwen4b.medusa.json
+    python -m repro lint-plan --all --format json
     python -m repro validate  --artifact qwen4b.medusa.json
     python -m repro restore   --model Qwen1.5-4B --artifact qwen4b.medusa.json --validate
     python -m repro simulate  --model Llama2-7B  --rps 10 --strategy medusa
@@ -17,7 +18,8 @@ commands open them lazily (:class:`repro.core.binfmt.LazyArtifact`),
 which puts ``coldstart --strategy medusa``/``restore``/``validate`` on
 the pipelined vectorized fast path.
 
-``lint`` and ``validate`` share the CI-friendly exit-code convention:
+``lint``, ``lint-plan``, and ``validate`` share the CI-friendly
+exit-code convention:
 0 = clean/passed, 1 = diagnostics found or outputs diverged, 2 = the
 artifact could not be read at all.  With ``validate --degraded-ok`` a
 restore that walked the degradation ladder but still serves correct
@@ -110,6 +112,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("artifact", help="artifact JSON path")
     lint.add_argument("--json", action="store_true",
                       help="emit the full report as JSON")
+
+    lint_plan = sub.add_parser(
+        "lint-plan",
+        help="statically verify cold-start load plans (PLN0xx codes)")
+    lint_plan.add_argument("plan", nargs="?",
+                           help="a registered plan name (repro.engine."
+                                "strategies); omit with --all")
+    lint_plan.add_argument("--all", action="store_true",
+                           help="lint every registered plan, including "
+                                "degraded-ladder variants")
+    lint_plan.add_argument("--format", choices=("text", "json"),
+                           default="text", help="report format")
 
     validate = sub.add_parser(
         "validate", help="full restore + output validation of an artifact")
@@ -242,6 +256,39 @@ def _cmd_lint(args) -> int:
     return report.exit_code
 
 
+def _cmd_lint_plan(args) -> int:
+    import json as _json
+
+    from repro.analysis.planlint import lint_plan, lint_registered_plans
+    from repro.engine.strategies import registered_plans
+    from repro.reporting import format_diagnostics
+
+    if not args.all and not args.plan:
+        print("error: name a registered plan or pass --all", file=sys.stderr)
+        return 2
+    if args.all:
+        reports = lint_registered_plans()
+    else:
+        plans = registered_plans()
+        if args.plan not in plans:
+            print(f"error: no registered plan {args.plan!r}; available: "
+                  f"{', '.join(sorted(plans))}", file=sys.stderr)
+            return 2
+        reports = {args.plan: lint_plan(plans[args.plan])}
+    if args.format == "json":
+        print(_json.dumps(
+            {name: _json.loads(report.to_json())
+             for name, report in sorted(reports.items())}, indent=2))
+    else:
+        for name, report in sorted(reports.items()):
+            print(report.format_text())
+        diagnostics = [d for _, report in sorted(reports.items())
+                       for d in report.diagnostics]
+        if diagnostics:
+            print(format_diagnostics("Plan diagnostics", diagnostics))
+    return max(report.exit_code for report in reports.values())
+
+
 def _cmd_validate(args) -> int:
     import json as _json
 
@@ -330,6 +377,7 @@ _COMMANDS = {
     "coldstart": _cmd_coldstart,
     "offline": _cmd_offline,
     "lint": _cmd_lint,
+    "lint-plan": _cmd_lint_plan,
     "validate": _cmd_validate,
     "restore": _cmd_restore,
     "simulate": _cmd_simulate,

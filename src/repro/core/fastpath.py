@@ -213,6 +213,19 @@ class VectorizedRestorer:
 
     # -- stage actions ------------------------------------------------------
 
+    def stage_action_names(self) -> Tuple[str, ...]:
+        """The action names :meth:`stage_actions` will register.
+
+        Static (no engine needed), so the plan verifier
+        (`repro.analysis.planlint`) can resolve PLN004 bindings before a
+        restore binds anything.
+        """
+        from repro.engine.loadplan import restore_graph_stage
+        return ("fetch_artifact", "restore_kv", "replay_alloc",
+                "restore_warmup") + tuple(
+                    restore_graph_stage(batch)
+                    for batch in sorted(self.artifact.graphs, reverse=True))
+
     def stage_actions(self, engine) -> Dict[str, object]:
         """The actions the pipelined Medusa plan binds its stages to.
 

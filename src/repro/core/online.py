@@ -81,6 +81,11 @@ class OnlineRestorer:
     every failure propagates exactly as before.
     """
 
+    #: Action names :meth:`stage_actions` registers (identical for the
+    #: strict and ladder variants).  The static plan verifier
+    #: (`repro.analysis.planlint`) resolves PLN004 bindings against this.
+    STAGE_ACTION_NAMES = ("restore_kv", "restore_warmup", "restore_tail")
+
     def __init__(self, artifact: MaterializedModel,
                  injector=None,
                  policy: Optional[DegradationPolicy] = None):
@@ -99,6 +104,7 @@ class OnlineRestorer:
             policy.verify_outputs if policy.verify_outputs is not None
             else active)
         self._buffers: Dict[int, Buffer] = {}
+        self._replay_allocated: List[Buffer] = []
         self._replay_cursor = 0
         self._name_to_address: Dict[str, int] = {}
         self._kv_broken = False
@@ -163,6 +169,11 @@ class OnlineRestorer:
                 self.degradation.note_failure("kv_restore", exc)
                 self._kv_broken = True
                 fallback_start = clock.now
+                # The aborted replay leaked whatever it had allocated so
+                # far (possibly the near-full KV region): release it and
+                # collapse the allocator's high-water mark, or the
+                # re-profiling below sees a peak it cannot size under.
+                self._rollback_replay(engine.process)
                 engine.adopt_kv_bytes(engine.profile_available_kv_bytes())
                 self.degradation.record(LadderStep(
                     rung=Rung.EAGER, stage=DEGRADE_KV_PROFILE,
@@ -467,6 +478,24 @@ class OnlineRestorer:
 
     # -- allocation replay (§4.2) -----------------------------------------------
 
+    def _rollback_replay(self, process: CudaProcess) -> None:
+        """Undo an aborted allocation replay before degrading to profiling.
+
+        Frees every buffer the replay allocated that is still live, flushes
+        the caching allocator's free lists, and resets the peak watermark —
+        the fallback ``profile_available_kv_bytes`` sizes against
+        ``peak_bytes``, which must reflect the post-rollback state, not the
+        replay's leak.  Structure-init allocations predate the replay and
+        stay untouched.
+        """
+        allocator = process.allocator
+        for buffer in reversed(self._replay_allocated):
+            if allocator.is_live(buffer.address):
+                process.free(buffer.address)
+        process.empty_cache()
+        allocator.reset_peak()
+        self._replay_allocated.clear()
+
     def _replay_until(self, process: CudaProcess,
                       stop_alloc_index: Optional[int]) -> int:
         """Replay recorded events; stop after allocating ``stop_alloc_index``."""
@@ -492,6 +521,7 @@ class OnlineRestorer:
         if event.kind == "alloc":
             buffer = process.malloc(event.size, tag=event.tag,
                                     pool=event.pool)
+            self._replay_allocated.append(buffer)
             if buffer.alloc_index != event.alloc_index:
                 raise RestorationError(
                     f"replay drift: allocation came back as index "

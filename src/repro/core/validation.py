@@ -96,6 +96,37 @@ def validate_restoration(config, artifact: MaterializedModel,
                 f"{artifact.model_name}: static verification found "
                 f"{len(lint.errors)} error(s) ({', '.join(lint.codes())}); "
                 f"refusing to restore a corrupt artifact")
+        # Plan-lint prepass (PLN0xx): verify the load plan this restore
+        # will execute, with PLN004 bindings resolved against the action
+        # registries the restore would actually bind.  Mirrors the path
+        # selection in repro.core.online.prepare_medusa_cold_start.
+        from repro.analysis.planlint import lint_plan
+        from repro.engine.engine import ENGINE_STAGE_ACTIONS
+        from repro.engine.strategies import (
+            Strategy,
+            pipelined_medusa_plan,
+            plan_for,
+        )
+        hooks = (injector is not None and injector.active) \
+            or policy is not None
+        if isinstance(artifact, LazyArtifact) and not hooks:
+            from repro.core.fastpath import VectorizedRestorer
+            plan = pipelined_medusa_plan(artifact.batches)
+            known = ENGINE_STAGE_ACTIONS \
+                + VectorizedRestorer(artifact).stage_action_names()
+        else:
+            from repro.core.online import OnlineRestorer
+            plan = plan_for(Strategy.MEDUSA)
+            known = ENGINE_STAGE_ACTIONS + OnlineRestorer.STAGE_ACTION_NAMES
+        plan_lint = lint_plan(plan, known_actions=known,
+                              cost_model=cost_model)
+        report.diagnostics.extend(plan_lint.diagnostics)
+        if plan_lint.errors and not degraded_ok:
+            raise ValidationError(
+                f"{artifact.model_name}: load plan {plan.name!r} failed "
+                f"static verification "
+                f"({', '.join(d.code for d in plan_lint.errors)}); "
+                f"refusing to execute an unsafe plan")
     engine, cold = medusa_cold_start(
         config, artifact, seed=seed, mode=ExecutionMode.COMPUTE,
         cost_model=cost_model, kv_config=kv_config,

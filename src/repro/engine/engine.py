@@ -48,6 +48,13 @@ from repro.simgpu.costmodel import CostModel
 from repro.simgpu.kernels import PAYLOAD_DIM
 from repro.simgpu.process import CudaProcess, ExecutionMode
 
+#: Stage action names :meth:`LLMEngine._stage_actions` registers itself
+#: (a restorer's ``stage_actions`` extends/overrides these).  The static
+#: plan verifier (`repro.analysis.planlint`) resolves PLN004 bindings —
+#: and `repro.analysis.effects` keys its per-action effect defaults —
+#: against this registry.
+ENGINE_STAGE_ACTIONS = (STRUCTURE, WEIGHTS, TOKENIZER, KV_INIT, CAPTURE)
+
 
 @dataclass
 class ColdStartReport:

@@ -68,6 +68,9 @@ class PlanStage:
     (pipelined restore of non-first batch sizes): they extend
     ``Timeline.total`` but not ``Timeline.ready``, and are excluded from
     the critical path, which is walked back from the ready instant.
+    ``reads``/``writes`` declare the stage's effect sets over the named
+    engine-state resources of :mod:`repro.analysis.effects`; when absent,
+    the verifier falls back to the action's default effect table.
     """
 
     name: str
@@ -77,6 +80,8 @@ class PlanStage:
     required: bool = False
     contention: Optional[Contention] = None
     background: bool = False
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -115,6 +120,9 @@ class Timeline:
     strategy: Optional[object]
     stages: List[ScheduledStage]
     plan: str = ""
+    #: Declared dependency edges of the scheduled plan (stage -> deps);
+    #: empty for hand-built timelines, which then use legacy heuristics.
+    deps: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
     _index: Dict[str, ScheduledStage] = field(
         init=False, repr=False, compare=False, default_factory=dict)
 
@@ -149,15 +157,32 @@ class Timeline:
         return stage
 
     def bubble(self) -> float:
-        """Idle time on the critical path between overlapped branches."""
+        """Idle time on the critical path between overlapped branches.
+
+        The time between the weight load finishing and its dependent
+        *join* stage starting: the branches overlapping the weight
+        stream are whatever the scheduled DAG says they are (derived
+        from the plan's declared deps), so pipelined plans report
+        bubbles the same way the fixed-shape strategies do.  Timelines
+        built without dependency metadata fall back to the legacy
+        fixed branch-stage list.
+        """
         try:
             weights = self.stage(WEIGHTS)
         except EngineError:
             return 0.0
-        branch_end = max((s.end for s in self.stages
-                          if s.name in (TOKENIZER, KV_INIT, MEDUSA_WARMUP)),
-                         default=weights.end)
-        return max(0.0, branch_end - weights.end)
+        if not self.deps:
+            branch_end = max((s.end for s in self.stages
+                              if s.name in (TOKENIZER, KV_INIT,
+                                            MEDUSA_WARMUP)),
+                             default=weights.end)
+            return max(0.0, branch_end - weights.end)
+        joins = [self._index[name] for name, deps in self.deps.items()
+                 if WEIGHTS in deps and name in self._index
+                 and not self._index[name].background]
+        if not joins:
+            return 0.0
+        return max(0.0, max(s.start for s in joins) - weights.end)
 
     def critical_path(self) -> List[ScheduledStage]:
         """The critical stages, in start-time order."""
@@ -280,26 +305,35 @@ class LoadPlan:
                                          lane=stage.lane.label,
                                          background=stage.background))
         return Timeline(strategy, _mark_critical(placed, blockers),
-                        plan=self.name)
+                        plan=self.name,
+                        deps={stage.name: stage.deps
+                              for stage in self.stages})
 
 
 def append_stages(plan: LoadPlan, names: Sequence[str],
                   lane: Lane, suffix: str = "+degraded") -> LoadPlan:
-    """A copy of ``plan`` with serial stages chained onto its last stage.
+    """A copy of ``plan`` with serial stages chained after its ready frontier.
 
     Used by the degradation ladder: fallback work (re-profiling, recapture,
     eager capture) lands on the timeline as its own stages, in order, after
-    everything the base plan declared — so the breakdown table and Chrome
-    trace show exactly what degraded and what it cost.
+    the last *foreground* stage — so the breakdown table and Chrome trace
+    show exactly what degraded and what it cost.  Chaining after the ready
+    frontier (not ``stages[-1]``) matters on pipelined plans: degradation
+    gates serving readiness, so it must not serialize behind background
+    restore tails — those queue up behind the fallback work instead.
     """
     if not names:
         return plan
-    prev = plan.stages[-1].name
+    stages = list(plan.stages)
+    anchor = max((index for index, stage in enumerate(stages)
+                  if not stage.background), default=len(stages) - 1)
+    prev = stages[anchor].name
     extra: List[PlanStage] = []
     for name in names:
         extra.append(PlanStage(name, lane, deps=(prev,)))
         prev = name
-    return LoadPlan(plan.name + suffix, plan.stages + tuple(extra),
+    stages[anchor + 1:anchor + 1] = extra
+    return LoadPlan(plan.name + suffix, tuple(stages),
                     description=plan.description)
 
 

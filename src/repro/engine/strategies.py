@@ -25,8 +25,21 @@ loading) are pure plan definitions — no engine or scheduler edits.
 from __future__ import annotations
 
 import enum
+import warnings
 from typing import Dict, Optional, Sequence, Union
 
+from repro.analysis.effects import (
+    ALLOC_MAP,
+    ARTIFACT,
+    DRIVER_SYMBOLS,
+    GRAPHS,
+    KV_STATE,
+    PARAMS,
+    STRUCTURE_STATE,
+    TOKENIZER_STATE,
+    WEIGHTS_STATE,
+    graph_resource,
+)
 from repro.engine.lanes import CPU, DISK, GPU_COMPUTE, PCIE, Contention
 from repro.engine.loadplan import (
     CAPTURE,
@@ -77,9 +90,28 @@ _STRATEGY_PLANS: Dict[Strategy, str] = {}
 
 def register_plan(plan: LoadPlan,
                   strategy: Optional[Strategy] = None) -> LoadPlan:
-    """Register ``plan`` by name (and optionally as a strategy's default)."""
+    """Register ``plan`` by name (and optionally as a strategy's default).
+
+    Registration statically verifies the plan
+    (:func:`repro.analysis.planlint.lint_plan`): PLN0xx errors — effect
+    races between concurrent stages, unresolvable action/contention
+    bindings — reject the plan outright; advisories (dead stages,
+    redundant deps, lane bubbles) surface as warnings.
+    """
     if plan.name in _PLANS:
         raise EngineError(f"a plan named {plan.name!r} is already registered")
+    # Imported lazily: repro.analysis reaches back into repro.core.artifact,
+    # which is complete by the time any plan registers, but must not be a
+    # module-level import here (strategies loads during repro.core's init).
+    from repro.analysis.planlint import lint_plan
+    report = lint_plan(plan)
+    if report.errors:
+        raise EngineError(
+            f"plan {plan.name!r} failed static verification:\n"
+            + "\n".join(d.render() for d in report.errors))
+    for advisory in report.warnings:
+        warnings.warn(f"plan {plan.name!r}: {advisory.render()}",
+                      stacklevel=2)
     _PLANS[plan.name] = plan
     if strategy is not None:
         _STRATEGY_PLANS[strategy] = plan.name
@@ -114,13 +146,20 @@ def _sequential_plan(name: str, with_capture: bool,
                      description: str) -> LoadPlan:
     """Fully serialized loading: each stage depends on the previous one."""
     order = [
-        PlanStage(STRUCTURE, CPU, required=True),
-        PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True),
-        PlanStage(TOKENIZER, CPU, deps=(WEIGHTS,), required=True),
-        PlanStage(KV_INIT, GPU_COMPUTE, deps=(TOKENIZER,)),
+        PlanStage(STRUCTURE, CPU, required=True,
+                  writes=(STRUCTURE_STATE,)),
+        PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True,
+                  reads=(STRUCTURE_STATE,), writes=(WEIGHTS_STATE,)),
+        PlanStage(TOKENIZER, CPU, deps=(WEIGHTS,), required=True,
+                  writes=(TOKENIZER_STATE,)),
+        PlanStage(KV_INIT, GPU_COMPUTE, deps=(TOKENIZER,),
+                  reads=(STRUCTURE_STATE,), writes=(KV_STATE,)),
     ]
     if with_capture:
-        order.append(PlanStage(CAPTURE, GPU_COMPUTE, deps=(KV_INIT,)))
+        order.append(PlanStage(
+            CAPTURE, GPU_COMPUTE, deps=(KV_INIT,),
+            reads=(STRUCTURE_STATE, WEIGHTS_STATE, KV_STATE),
+            writes=(GRAPHS,)))
     return LoadPlan(name, tuple(order), description=description)
 
 
@@ -145,13 +184,22 @@ DEFERRED_PLAN = register_plan(_sequential_plan(
 VLLM_ASYNC_PLAN = register_plan(LoadPlan(
     "vllm-async",
     (
-        PlanStage(STRUCTURE, CPU, required=True),
+        PlanStage(STRUCTURE, CPU, required=True,
+                  writes=(STRUCTURE_STATE,)),
         PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True,
                   contention=Contention((KV_INIT,),
-                                        "weight_kv_interference")),
-        PlanStage(TOKENIZER, CPU, deps=(STRUCTURE,), required=True),
-        PlanStage(KV_INIT, GPU_COMPUTE, deps=(TOKENIZER,)),
-        PlanStage(CAPTURE, GPU_COMPUTE, deps=(WEIGHTS, KV_INIT)),
+                                        "weight_kv_interference"),
+                  reads=(STRUCTURE_STATE,), writes=(WEIGHTS_STATE,)),
+        PlanStage(TOKENIZER, CPU, deps=(STRUCTURE,), required=True,
+                  writes=(TOKENIZER_STATE,)),
+        # The profiling forwarding only needs parameter *shapes*, so it
+        # legitimately overlaps the weight stream: reads structure, not
+        # weights (declaring a weights read here would be a PLN002 race).
+        PlanStage(KV_INIT, GPU_COMPUTE, deps=(TOKENIZER,),
+                  reads=(STRUCTURE_STATE,), writes=(KV_STATE,)),
+        PlanStage(CAPTURE, GPU_COMPUTE, deps=(WEIGHTS, KV_INIT),
+                  reads=(STRUCTURE_STATE, WEIGHTS_STATE, KV_STATE),
+                  writes=(GRAPHS,)),
     ),
     description="vLLM + naive asynchronous weight loading (§7.3)."),
     strategy=Strategy.VLLM_ASYNC)
@@ -163,16 +211,26 @@ VLLM_ASYNC_PLAN = register_plan(LoadPlan(
 MEDUSA_PLAN = register_plan(LoadPlan(
     "medusa",
     (
-        PlanStage(STRUCTURE, CPU, required=True),
-        PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True),
-        PlanStage(TOKENIZER, CPU, deps=(STRUCTURE,), required=True),
+        PlanStage(STRUCTURE, CPU, required=True,
+                  writes=(STRUCTURE_STATE,)),
+        PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True,
+                  reads=(STRUCTURE_STATE,), writes=(WEIGHTS_STATE,)),
+        PlanStage(TOKENIZER, CPU, deps=(STRUCTURE,), required=True,
+                  writes=(TOKENIZER_STATE,)),
         PlanStage(KV_INIT, GPU_COMPUTE, deps=(STRUCTURE,),
-                  action="restore_kv"),
+                  action="restore_kv",
+                  reads=(ARTIFACT, STRUCTURE_STATE),
+                  writes=(KV_STATE, ALLOC_MAP)),
         PlanStage(MEDUSA_WARMUP, GPU_COMPUTE, deps=(KV_INIT,),
-                  action="restore_warmup"),
+                  action="restore_warmup",
+                  reads=(ARTIFACT, KV_STATE, ALLOC_MAP),
+                  writes=(ALLOC_MAP, PARAMS, DRIVER_SYMBOLS)),
         PlanStage(MEDUSA_RESTORE, GPU_COMPUTE,
                   deps=(MEDUSA_WARMUP, WEIGHTS, TOKENIZER),
-                  action="restore_tail"),
+                  action="restore_tail",
+                  reads=(ARTIFACT, WEIGHTS_STATE, TOKENIZER_STATE,
+                         ALLOC_MAP, PARAMS),
+                  writes=(DRIVER_SYMBOLS, GRAPHS)),
     ),
     description="Materialized restore: KV + graphs from the artifact (§3)."),
     strategy=Strategy.MEDUSA)
@@ -201,23 +259,38 @@ def pipelined_medusa_plan(batch_sizes: Sequence[int],
         raise EngineError("pipelined Medusa plan needs at least one "
                           "captured batch size")
     stages = [
-        PlanStage(STRUCTURE, CPU, required=True),
-        PlanStage(FETCH_ARTIFACT, DISK),
-        PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True),
-        PlanStage(TOKENIZER, CPU, deps=(STRUCTURE,), required=True),
+        PlanStage(STRUCTURE, CPU, required=True,
+                  writes=(STRUCTURE_STATE,)),
+        PlanStage(FETCH_ARTIFACT, DISK, writes=(ARTIFACT,)),
+        PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True,
+                  reads=(STRUCTURE_STATE,), writes=(WEIGHTS_STATE,)),
+        PlanStage(TOKENIZER, CPU, deps=(STRUCTURE,), required=True,
+                  writes=(TOKENIZER_STATE,)),
         PlanStage(KV_INIT, GPU_COMPUTE, deps=(STRUCTURE, FETCH_ARTIFACT),
-                  action="restore_kv"),
-        PlanStage(REPLAY_ALLOC, CPU, deps=(KV_INIT, FETCH_ARTIFACT)),
+                  action="restore_kv",
+                  reads=(ARTIFACT, STRUCTURE_STATE),
+                  writes=(KV_STATE, ALLOC_MAP)),
+        # KV restore already waited on the artifact, so a FETCH_ARTIFACT
+        # dep here would be redundant (PLN008).
+        PlanStage(REPLAY_ALLOC, CPU, deps=(KV_INIT,),
+                  reads=(ARTIFACT, ALLOC_MAP), writes=(ALLOC_MAP,)),
         PlanStage(MEDUSA_WARMUP, GPU_COMPUTE, deps=(REPLAY_ALLOC,),
-                  action="restore_warmup"),
+                  action="restore_warmup",
+                  reads=(ARTIFACT, KV_STATE, ALLOC_MAP),
+                  writes=(PARAMS, DRIVER_SYMBOLS)),
         PlanStage(restore_graph_stage(batches[0]), GPU_COMPUTE,
-                  deps=(MEDUSA_WARMUP, WEIGHTS, TOKENIZER)),
+                  deps=(MEDUSA_WARMUP, WEIGHTS, TOKENIZER),
+                  reads=(ARTIFACT, WEIGHTS_STATE, TOKENIZER_STATE,
+                         ALLOC_MAP, PARAMS),
+                  writes=(DRIVER_SYMBOLS, graph_resource(batches[0]))),
     ]
     prev = restore_graph_stage(batches[0])
     for batch in batches[1:]:
         stage = restore_graph_stage(batch)
-        stages.append(PlanStage(stage, GPU_COMPUTE, deps=(prev,),
-                                background=True))
+        stages.append(PlanStage(
+            stage, GPU_COMPUTE, deps=(prev,), background=True,
+            reads=(ARTIFACT, ALLOC_MAP, PARAMS, DRIVER_SYMBOLS),
+            writes=(graph_resource(batch),)))
         prev = stage
     return LoadPlan(
         name, tuple(stages),
@@ -233,10 +306,24 @@ def pipelined_medusa_plan(batch_sizes: Sequence[int],
 EAGER_TOKENIZER_PLAN = register_plan(LoadPlan(
     "vllm-eager-tokenizer",
     (
-        PlanStage(STRUCTURE, CPU, required=True),
-        PlanStage(TOKENIZER, DISK, required=True),
-        PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True),
-        PlanStage(KV_INIT, GPU_COMPUTE, deps=(WEIGHTS, TOKENIZER)),
-        PlanStage(CAPTURE, GPU_COMPUTE, deps=(KV_INIT,)),
+        PlanStage(STRUCTURE, CPU, required=True,
+                  writes=(STRUCTURE_STATE,)),
+        PlanStage(TOKENIZER, DISK, required=True,
+                  writes=(TOKENIZER_STATE,)),
+        PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True,
+                  reads=(STRUCTURE_STATE,), writes=(WEIGHTS_STATE,)),
+        PlanStage(KV_INIT, GPU_COMPUTE, deps=(WEIGHTS, TOKENIZER),
+                  reads=(STRUCTURE_STATE,), writes=(KV_STATE,)),
+        PlanStage(CAPTURE, GPU_COMPUTE, deps=(KV_INIT,),
+                  reads=(STRUCTURE_STATE, WEIGHTS_STATE, KV_STATE),
+                  writes=(GRAPHS,)),
     ),
     description="vLLM with the tokenizer overlapping structure init."))
+
+#: The canonical pipelined plan, registered so ``repro lint-plan --all``,
+#: the CLI, and CI verify it alongside the strategies.  Real cold starts
+#: build a per-artifact instance via :func:`pipelined_medusa_plan` (the
+#: stage set depends on the artifact's captured batch sizes); this
+#: registered default uses a representative small capture ladder.
+PIPELINED_MEDUSA_PLAN = register_plan(
+    pipelined_medusa_plan((1, 2, 4, 8)))

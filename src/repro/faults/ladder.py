@@ -35,6 +35,12 @@ DEGRADE_PARTIAL = "degrade_partial"
 DEGRADE_RECAPTURE = "degrade_recapture"
 DEGRADE_EAGER = "degrade_eager_capture"
 
+#: Every ladder stage name a cold start may append, worst-case order —
+#: the degraded-variant universe ``repro lint-plan`` verifies per plan.
+DEGRADED_LADDER_STAGES = (DEGRADE_KV_PROFILE, RESTORE_VERIFY,
+                          DEGRADE_PARTIAL, DEGRADE_RECAPTURE,
+                          DEGRADE_EAGER)
+
 
 class Rung(enum.IntEnum):
     """Ladder rungs, ordered from best (FULL) to worst (EAGER)."""

@@ -218,6 +218,19 @@ class DeviceAllocator:
             AllocationEvent("alloc", address, aligned, index, tag, pool=pool))
         return buffer
 
+    def is_live(self, address: int) -> bool:
+        """Whether ``address`` resolves and is not sitting on a free list."""
+        return address in self._live and address not in self._pending
+
+    def reset_peak(self) -> None:
+        """Collapse the high-water mark to current usage.
+
+        Used after rolling back an aborted restore replay: the leaked
+        allocations are gone, and profiling-based KV sizing (which reads
+        ``peak_bytes``) must not keep charging for them.
+        """
+        self.peak_bytes = self.bytes_in_use
+
     def free(self, address: int) -> None:
         """``cudaFree``: return memory to the driver.
 

@@ -63,18 +63,27 @@ def check_invariants(plan: LoadPlan, timeline) -> None:
             assert earlier.end <= later.start + _EPS, \
                 f"lane {lane} overlaps: {earlier.name} / {later.name}"
 
-    # 3. The timeline total is the makespan.
+    # 3. The timeline total is the makespan; ready covers foreground only.
     assert timeline.total == max(s.end for s in timeline.stages)
+    foreground = [s for s in timeline.stages if not s.background]
+    if foreground:
+        assert timeline.ready == max(s.end for s in foreground)
 
-    # 4. Critical marking: every stage ending at the makespan is critical,
-    #    and every critical stage is reachable from time zero through a
-    #    zero-slack chain of critical stages — so the critical durations
-    #    along any such chain sum to the makespan.
+    # 4. Critical marking: every foreground stage ending at the *ready*
+    #    instant is critical (background stages never are — they finish
+    #    behind serving readiness by design), and every critical stage is
+    #    reachable from time zero through a zero-slack chain of critical
+    #    stages — so the critical durations along any such chain sum to
+    #    the ready makespan.
     critical = [s for s in timeline.stages if s.critical]
-    assert critical
     for placed in timeline.stages:
-        if abs(placed.end - timeline.total) <= _EPS:
-            assert placed.critical, f"{placed.name} ends at makespan"
+        if placed.background:
+            assert not placed.critical, f"{placed.name} is background"
+    if foreground:
+        assert critical
+        for placed in foreground:
+            if abs(placed.end - timeline.ready) <= _EPS:
+                assert placed.critical, f"{placed.name} ends at ready"
     for placed in critical:
         if placed.start > _EPS:
             assert any(abs(other.end - placed.start) <= _EPS

@@ -1,0 +1,135 @@
+"""Property-based guarantees of the static plan verifier.
+
+Two directions, over randomly generated stage DAGs:
+
+- **No false positives**: every pair the analyzer calls *concurrent* is
+  genuinely schedulable in overlap — give the pair unit duration and
+  every other stage zero, and the lane scheduler places both at
+  ``[0, 1]``.  Conversely, pairs the happens-before closure orders are
+  never overlapped by the scheduler, for any durations.  So a reported
+  race is never one the scheduler's placements could actually order.
+- **No false negatives**: injecting conflicting effects onto any
+  concurrent pair always produces the PLN001 diagnostic naming that
+  pair, and every reported race anchors to a genuinely concurrent pair.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis.planlint import concurrent_pairs, lint_plan
+from repro.engine.lanes import Lane
+from repro.engine.loadplan import LoadPlan, PlanStage
+
+_EPS = 1e-9
+_RESOURCES = ("r0", "r1", "r2")
+
+durations_st = st.floats(min_value=0.0, max_value=10.0,
+                         allow_nan=False, allow_infinity=False)
+
+
+def draw_plan(data, with_effects=False, with_background=False):
+    """A random topologically-declared plan (mirrors the scheduler's
+    random-DAG property suite)."""
+    count = data.draw(st.integers(2, 8), label="count")
+    names = [f"s{i}" for i in range(count)]
+    stages = []
+    for index, name in enumerate(names):
+        deps = tuple(sorted(data.draw(
+            st.sets(st.sampled_from(names[:index])) if index else
+            st.just(set()), label=f"deps-{name}")))
+        lane = data.draw(st.sampled_from(list(Lane)), label=f"lane-{name}")
+        reads = writes = ()
+        if with_effects:
+            reads = tuple(sorted(data.draw(
+                st.sets(st.sampled_from(_RESOURCES)),
+                label=f"reads-{name}")))
+            writes = tuple(sorted(data.draw(
+                st.sets(st.sampled_from(_RESOURCES)),
+                label=f"writes-{name}")))
+        background = with_background and data.draw(
+            st.booleans(), label=f"bg-{name}")
+        stages.append(PlanStage(name, lane, deps=deps, reads=reads,
+                                writes=writes, background=background))
+    return LoadPlan("prop-lint", tuple(stages))
+
+
+def _lint(plan):
+    """Suppress binding noise: every stage name is an accepted action."""
+    return lint_plan(plan, known_actions=[s.name for s in plan.stages],
+                     cost_model={})
+
+
+def _overlaps(a, b):
+    return a.start < b.end - _EPS and b.start < a.end - _EPS
+
+
+class TestConcurrencyIsExact:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_concurrent_pairs_admit_an_overlap_witness(self, data):
+        """Unit duration for the pair, zero elsewhere -> both at [0, 1]."""
+        plan = draw_plan(data)
+        for first, second in concurrent_pairs(plan):
+            durations = {first: 1.0, second: 1.0}
+            timeline = plan.schedule(durations)
+            a, b = timeline.stage(first), timeline.stage(second)
+            assert a.start == 0.0 and b.start == 0.0, (first, second)
+            assert _overlaps(a, b), (first, second)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_ordered_pairs_never_overlap(self, data):
+        """Pairs outside the concurrent set stay serialized under any
+        durations the scheduler is handed."""
+        plan = draw_plan(data)
+        names = [s.name for s in plan.stages]
+        concurrent = set(concurrent_pairs(plan))
+        durations = {name: data.draw(durations_st, label=f"dur-{name}")
+                     for name in names}
+        timeline = plan.schedule(durations)
+        for i, first in enumerate(names):
+            for second in names[i + 1:]:
+                if (first, second) in concurrent:
+                    continue
+                a, b = timeline.stage(first), timeline.stage(second)
+                assert not _overlaps(a, b), \
+                    f"ordered pair {first}/{second} overlapped"
+
+
+class TestRacesAreExact:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_injected_conflicting_effects_are_always_flagged(self, data):
+        """Mutating any concurrent pair into co-writers trips PLN001
+        naming exactly that pair."""
+        plan = draw_plan(data)
+        pairs = concurrent_pairs(plan)
+        assume(pairs)
+        first, second = data.draw(st.sampled_from(pairs), label="pair")
+        mutated = LoadPlan(plan.name, tuple(
+            PlanStage(s.name, s.lane, deps=s.deps, writes=("rx",))
+            if s.name in (first, second) else s for s in plan.stages))
+        report = _lint(mutated)
+        hits = [d for d in report.diagnostics if d.code == "PLN001"]
+        assert any(f"{first!r}" in d.message and f"{second!r}" in d.message
+                   and "'rx'" in d.message for d in hits), \
+            report.format_text()
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_reported_races_anchor_to_concurrent_pairs(self, data):
+        """Every PLN001/002/003 names a pair the scheduler can genuinely
+        overlap (checked via the unit-duration witness)."""
+        plan = draw_plan(data, with_effects=True, with_background=True)
+        concurrent = {frozenset(pair) for pair in concurrent_pairs(plan)}
+        names = {s.name for s in plan.stages}
+        report = _lint(plan)
+        for diag in report.diagnostics:
+            if diag.code not in ("PLN001", "PLN002", "PLN003"):
+                continue
+            pair = frozenset(n for n in names if f"{n!r}" in diag.message
+                             and n in diag.location)
+            assert pair in concurrent, diag.render()
+            first, second = sorted(pair)
+            timeline = plan.schedule({first: 1.0, second: 1.0})
+            assert _overlaps(timeline.stage(first),
+                             timeline.stage(second)), diag.render()

@@ -153,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--duration", type=float, default=300.0)
     simulate.add_argument("--gpus", type=int, default=4)
     simulate.add_argument("--seed", type=int, default=42)
+    simulate.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write the whole run (arrivals, per-stage cold starts, "
+             "serving steps, retirements) as one Chrome trace JSON")
     return parser
 
 
@@ -368,6 +372,13 @@ def _cmd_simulate(args) -> int:
         f"Trace simulation: {args.model}, {strategy.label}, "
         f"RPS {args.rps:g}, {args.gpus} GPUs",
         ["metric", "value"], rows))
+    if args.trace:
+        from repro.reporting.timeline import save_simulation_trace
+        size = save_simulation_trace(
+            simulator.loop.trace, args.trace,
+            name=f"{args.model} / {strategy.label} @ RPS {args.rps:g}")
+        print(f"cluster trace: {args.trace} ({size} bytes, "
+              f"{simulator.loop.dispatched} events)")
     return 0
 
 

@@ -147,6 +147,27 @@ class Timeline:
             return self.total
         return max(foreground)
 
+    @property
+    def has_background(self) -> bool:
+        """True when any stage runs behind the ready instant.
+
+        Pipelined plans restore non-first graphs *after* serving starts;
+        the cluster simulator uses this to decide whether an instance's
+        early steps contend with a restore tail (``ready < total``).
+        """
+        return any(stage.background for stage in self.stages)
+
+    def stage_events(self) -> List[ScheduledStage]:
+        """The stages a discrete-event cold start dispatches, end-ordered.
+
+        Zero-duration stages occupy no simulated time and produce no
+        event; the rest are returned sorted by completion instant — the
+        order a cluster event loop observes their boundaries in.
+        """
+        return sorted((stage for stage in self.stages
+                       if stage.duration > 0),
+                      key=lambda stage: (stage.end, stage.start))
+
     def stage(self, name: str) -> ScheduledStage:
         """O(1) lookup by stage name (stages are indexed once)."""
         stage = self._index.get(name)

@@ -1,4 +1,4 @@
-"""Chrome-trace export of cold-start schedules.
+"""Chrome-trace export of cold-start schedules and whole cluster runs.
 
 The paper inspects stage overlap with NVIDIA Nsight Systems (§7.3); the
 closest open equivalent for this reproduction is the Chrome trace-event
@@ -6,6 +6,12 @@ format (``chrome://tracing`` / Perfetto).  Each strategy's scheduled
 LoadPlan timeline becomes one track of complete events per resource lane,
 so the async overlap, the bubble, and Medusa's warm-up/restore split are
 visually inspectable.
+
+Since the cluster simulators run on the :mod:`repro.sim` event kernel,
+their :class:`repro.sim.TraceRecorder` log renders the same way: one
+unified trace of a whole simulated run — arrivals, per-stage cold starts,
+serving steps, ladder-rung events, cancellations, retirements — with one
+thread row per instance (:func:`simulation_trace_events`).
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import Dict, List, Sequence
 
 from repro.engine.engine import ColdStartReport
 from repro.engine.lanes import Lane
+from repro.sim import TraceRecorder
 
 #: Track rows: stages on the same resource lane share a thread id.
 _LANE_TRACKS = {
@@ -86,6 +93,73 @@ def export_chrome_trace(reports: Sequence[ColdStartReport]) -> str:
 def save_chrome_trace(reports: Sequence[ColdStartReport], path) -> int:
     """Write the Chrome trace to ``path``; returns its byte size."""
     text = export_chrome_trace(reports)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return len(text)
+
+
+def simulation_trace_events(trace: TraceRecorder, pid: int = 0,
+                            name: str = "cluster") -> List[Dict]:
+    """One simulated cluster run's event-kernel trace as Chrome events.
+
+    Every span (cold-start stage, serving step) becomes a complete 'X'
+    event and every mark (arrival, readiness, ladder rung, cancellation,
+    retirement) an instant 'i' event; tracks (one per instance, plus the
+    router) map to thread rows in first-appearance order, named via
+    metadata events so Perfetto labels them.
+    """
+    tids: Dict[str, int] = {}
+    events: List[Dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": name},
+    }]
+
+    def _tid(track: str) -> int:
+        if track not in tids:
+            tids[track] = len(tids) + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid,
+                "tid": tids[track], "args": {"name": track or "events"},
+            })
+        return tids[track]
+
+    for span, track, args in zip(trace.spans, trace.tracks, trace.args):
+        if span.duration <= 0:
+            continue
+        events.append({
+            "name": span.label,
+            "ph": "X",
+            "pid": pid,
+            "tid": _tid(track),
+            "ts": span.start * _MICRO,
+            "dur": span.duration * _MICRO,
+            "args": dict(args, seconds=round(span.duration, 6)),
+        })
+    for label, time, track, args in trace.marks:
+        events.append({
+            "name": label,
+            "ph": "i",
+            "s": "t",
+            "pid": pid,
+            "tid": _tid(track),
+            "ts": time * _MICRO,
+            "args": dict(args),
+        })
+    return events
+
+
+def export_simulation_trace(trace: TraceRecorder,
+                            name: str = "cluster") -> str:
+    """A complete Chrome trace JSON for one simulated cluster run."""
+    return json.dumps({"traceEvents": simulation_trace_events(trace,
+                                                              name=name),
+                       "displayTimeUnit": "ms"})
+
+
+def save_simulation_trace(trace: TraceRecorder, path,
+                          name: str = "cluster") -> int:
+    """Write a cluster run's unified trace to ``path``; returns its size."""
+    text = export_simulation_trace(trace, name=name)
     with open(path, "w") as handle:
         handle.write(text)
     return len(text)

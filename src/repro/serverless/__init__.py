@@ -14,15 +14,22 @@ from repro.serverless.cluster import (
     tag_workloads,
 )
 from repro.serverless.costs import ServingCostModel
-from repro.serverless.instance import Instance, InstanceConfig
+from repro.serverless.instance import (
+    ColdStartProfile,
+    Instance,
+    InstanceConfig,
+)
 from repro.serverless.metrics import SimulationMetrics
+from repro.serverless.pool import PoolSimulatorBase
 from repro.serverless.simulator import ClusterSimulator, SimulationConfig
 from repro.serverless.workload import Request, ShareGPTWorkload
 
 __all__ = [
     "ClusterSimulator",
+    "ColdStartProfile",
     "ModelDeployment",
     "MultiModelCluster",
+    "PoolSimulatorBase",
     "TaggedRequest",
     "tag_workloads",
     "Instance",

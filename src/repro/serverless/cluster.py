@@ -7,24 +7,32 @@ capacity.  That is precisely why the paper calls hot spares unaffordable:
 every type of model" (§2.4).  This module simulates such a shared pool —
 requests tagged with a model, per-model instance sets, one global GPU
 bound — and per-model plus aggregate metrics.
+
+The event loop is the :mod:`repro.sim` kernel via
+:class:`repro.serverless.pool.PoolSimulatorBase` (shared with the
+single-model :class:`repro.serverless.simulator.ClusterSimulator`).  A
+deployment may carry a :class:`ColdStartProfile`: its cold starts then
+execute the scheduled LoadPlan stage by stage, and — the preemption the
+shared pool unlocks — when the pool is exhausted and a model has *zero*
+capacity, another model's in-flight cold start whose queue its siblings
+can absorb is cancelled at the next stage boundary to free the GPU.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.errors import InvalidValueError, SchedulingError
 from repro.serverless.costs import ServingCostModel
-from repro.serverless.instance import Instance, InstanceConfig
+from repro.serverless.instance import (
+    ColdStartProfile,
+    Instance,
+    InstanceConfig,
+)
 from repro.serverless.metrics import SimulationMetrics
+from repro.serverless.pool import ARRIVAL, PoolSimulatorBase
 from repro.serverless.workload import Request, ShareGPTWorkload
-
-_ARRIVAL = 0
-_INSTANCE_READY = 1
-_STEP_DONE = 2
 
 
 @dataclass(frozen=True)
@@ -39,6 +47,14 @@ class ModelDeployment:
     hot_spares: int = 0
     max_running: int = 14
     gpus_per_instance: int = 1   # tensor-parallel deployments span GPUs
+    #: Scheduled-LoadPlan cold-start profile; when present, cold starts
+    #: are stage-granular (ready at ``Timeline.ready``, cancellable at
+    #: stage boundaries) and ``cold_start_latency`` is superseded by
+    #: ``profile.serving_ready_time``.
+    profile: Optional[ColdStartProfile] = None
+    #: Fractional serving slowdown under a pipelined restore's background
+    #: tail (stage-granular cold starts only).
+    background_tail_penalty: float = 0.15
 
 
 @dataclass(frozen=True)
@@ -60,7 +76,7 @@ def tag_workloads(workloads: Dict[str, ShareGPTWorkload]
     return tagged
 
 
-class MultiModelCluster:
+class MultiModelCluster(PoolSimulatorBase):
     """One GPU pool shared by several model deployments."""
 
     def __init__(self, deployments: List[ModelDeployment], num_gpus: int,
@@ -85,46 +101,63 @@ class MultiModelCluster:
         self.instances: Dict[str, List[Instance]] = {name: []
                                                      for name in names}
         self.metrics: Dict[str, SimulationMetrics] = {}
-        self._events: List[Tuple[float, int, int, object]] = []
-        self._seq = itertools.count()
-        self._now = 0.0
+        self._begin_run(horizon=0.0)
 
     # -- capacity ------------------------------------------------------------
 
     def _live_instances(self, model: Optional[str] = None) -> List[Instance]:
+        """Non-retired instances, pool-wide or for one ``model``."""
         pools = [self.instances[model]] if model else self.instances.values()
         return [inst for pool in pools for inst in pool if not inst.retired]
 
     @property
     def gpus_in_use(self) -> int:
+        """GPUs occupied by live instances (TP deployments span several)."""
         return sum(self.deployments[inst.model_name].gpus_per_instance
                    for inst in self._live_instances())
 
-    # -- lifecycle ---------------------------------------------------------------
+    # -- pool hooks ----------------------------------------------------------
 
-    def _push(self, time: float, kind: int, payload: object) -> None:
-        heapq.heappush(self._events, (time, kind, next(self._seq), payload))
+    def _metrics_for(self, instance: Instance) -> SimulationMetrics:
+        """Each instance reports into its deployment's metrics."""
+        return self.metrics[instance.model_name]
+
+    # -- lifecycle ---------------------------------------------------------------
 
     def _launch(self, model: str, now: float, cold: bool = True,
                 hot_spare: bool = False) -> Instance:
+        """Provision one instance of ``model``'s deployment."""
         deployment = self.deployments[model]
+        profile = deployment.profile if cold else None
+        if not cold:
+            latency = 0.0
+        elif profile is not None:
+            latency = profile.serving_ready_time
+        else:
+            latency = deployment.cold_start_latency
         instance = Instance(
             costs=deployment.costs,
             config=InstanceConfig(
                 max_running=deployment.max_running,
                 use_cuda_graphs=deployment.use_cuda_graphs,
-                deferred_capture=deployment.deferred_capture),
+                deferred_capture=deployment.deferred_capture,
+                background_tail_penalty=deployment.background_tail_penalty),
             launched_at=now,
-            cold_start_latency=deployment.cold_start_latency if cold else 0.0)
+            cold_start_latency=latency,
+            profile=profile,
+            model_name=model)
         instance.hot_spare = hot_spare
-        instance.model_name = model
         self.instances[model].append(instance)
         if cold:
             self.metrics[model].cold_starts += 1
-        self._push(instance.ready_at, _INSTANCE_READY, instance)
+            if profile is not None and profile.degraded_rung:
+                self.metrics[model].record_degraded_cold_start(
+                    profile.degraded_rung)
+        self._launch_events(instance)
         return instance
 
     def _route(self, tagged: TaggedRequest, now: float) -> None:
+        """Route one tagged arrival within its deployment's capacity."""
         model = tagged.model
         deployment = self.deployments.get(model)
         if deployment is None:
@@ -142,77 +175,107 @@ class MultiModelCluster:
             target = min(live, key=lambda inst: inst.load)
         else:
             # Pool exhausted by *other* models and this one has no instance:
-            # queue on the model's next launch by stealing the globally
-            # least-loaded retired slot is out of scope; wait for capacity.
+            # free a GPU (an idle instance, else a preemptable cold start).
             target = self._launch_when_possible(model, now)
         target.enqueue(tagged.request)
         self._maybe_step(target, now)
 
     def _launch_when_possible(self, model: str, now: float) -> Instance:
-        # Retire the most idle instance of another model if one is idle.
+        """Free one GPU for a zero-capacity model, then launch on it.
+
+        Preference order: retire an idle ready instance of another model
+        (the pre-kernel behaviour); else cancel another model's in-flight
+        stage-granular cold start at its next stage boundary, provided its
+        queued requests fit on its sibling instances — the
+        ServerlessLLM-style "abort a startup that another replica makes
+        redundant" decision, now possible *mid-cold-start* because stages
+        are events.
+        """
         for pool in self.instances.values():
             for instance in pool:
                 if (not instance.retired and not instance.has_work
                         and not instance.stepping
-                        and not getattr(instance, "hot_spare", False)):
+                        and not instance.hot_spare):
                     instance.retired = True
                     instance.retired_at = now
                     return self._launch(model, now)
+        preempted = self._preempt_cold_start(model, now)
+        if preempted is not None:
+            return preempted
         raise SchedulingError(
             f"GPU pool exhausted and no instance of {model!r} exists; "
             f"increase num_gpus or lower hot_spares")
 
-    def _maybe_step(self, instance: Instance, now: float) -> None:
-        if (instance.stepping or instance.retired
-                or now < instance.ready_at or not instance.has_work):
-            return
-        instance.stepping = True
-        result = instance.run_step(now)
-        self._push(now + result.duration, _STEP_DONE, (instance, result))
+    def _preempt_cold_start(self, model: str, now: float
+                            ) -> Optional[Instance]:
+        """Cancel a preemptable cold start and launch ``model`` on its GPU.
 
-    def _maybe_retire(self, instance: Instance, now: float) -> None:
-        if instance.has_work or instance.stepping or instance.retired:
-            return
-        if getattr(instance, "hot_spare", False):
-            return
-        if now - instance.last_busy_at >= self.keep_alive:
-            instance.retired = True
-            instance.retired_at = now
+        A victim must still be cold-starting with stage boundaries ahead,
+        must not be a hot spare, and its model must keep at least one
+        other live instance to re-route the victim's queued requests onto
+        (they queue deeper there — a tail hit for the victim's model, but
+        the zero-capacity model gets served at all).  Among eligible
+        victims the one with the most cold-start work remaining (latest
+        ready instant) is cancelled: least sunk cost, earliest boundary.
+        """
+        best: Optional[Instance] = None
+        for victim_model, pool in self.instances.items():
+            if victim_model == model:
+                continue
+            for victim in pool:
+                if (victim.retired or victim.hot_spare or victim.running
+                        or victim.stepping or not victim.cold_stages
+                        or now >= victim.ready_at):
+                    continue
+                siblings = [inst
+                            for inst in self._live_instances(victim_model)
+                            if inst is not victim]
+                if victim.waiting and not siblings:
+                    continue
+                if best is None or victim.ready_at > best.ready_at:
+                    best = victim
+        if best is None:
+            return None
+        freed = self.deployments[best.model_name].gpus_per_instance
+        needed = self.deployments[model].gpus_per_instance
+        if self.gpus_in_use - freed + needed > self.num_gpus:
+            return None   # a TP deployment needs more GPUs than one victim
+        victim_model = best.model_name
+        rerouted = list(best.waiting)
+        best.waiting.clear()
+        boundary = self._cancel_cold_start(best, now,
+                                           reason="pool_exhausted")
+        if boundary is None:
+            best.waiting.extend(rerouted)
+            return None
+        # Claim the victim's GPU *before* re-routing its queue: the new
+        # instance's cold start begins at the boundary where the GPU
+        # frees, and the re-routed requests must queue on the victim's
+        # siblings rather than re-grab the slot being handed over.
+        replacement = self._launch(model, boundary[0])
+        for request in rerouted:
+            self._route(TaggedRequest(victim_model, request), now)
+        return replacement
 
     # -- main loop -----------------------------------------------------------------
 
     def run(self, tagged_requests: List[TaggedRequest],
             horizon: float) -> Dict[str, SimulationMetrics]:
+        """Simulate the merged arrival stream; returns per-model metrics."""
         self.metrics = {name: SimulationMetrics(horizon=horizon)
                         for name in self.deployments}
+        self.instances = {name: [] for name in self.deployments}
+        self._begin_run(horizon)
         for tagged in tagged_requests:
             self.metrics[tagged.model].arrived += 1
-            self._push(tagged.request.arrival_time, _ARRIVAL, tagged)
+            self.loop.schedule(tagged.request.arrival_time, ARRIVAL, tagged)
         for name, deployment in self.deployments.items():
             for _ in range(deployment.hot_spares):
                 self._launch(name, 0.0, cold=False, hot_spare=True)
 
-        while self._events:
-            time, kind, _seq, payload = heapq.heappop(self._events)
-            self._now = time
-            if kind == _ARRIVAL:
-                self._route(payload, time)
-            elif kind == _INSTANCE_READY:
-                self._maybe_step(payload, time)
-            elif kind == _STEP_DONE:
-                instance, result = payload
-                instance.stepping = False
-                model_metrics = self.metrics[instance.model_name]
-                for _request, ttft in result.ttfts:
-                    model_metrics.record_ttft(ttft)
-                for completion in result.completed:
-                    model_metrics.record_completion(
-                        completion.latency,
-                        in_horizon=completion.completion_time <= horizon)
-                self._maybe_step(instance, time)
-                self._maybe_retire(instance, time)
+        self.loop.run()
 
-        end_of_run = max(horizon, self._now)
+        end_of_run = max(horizon, self.loop.now)
         for model, pool in self.instances.items():
             for instance in pool:
                 until = getattr(instance, "retired_at", end_of_run)
@@ -224,15 +287,10 @@ class MultiModelCluster:
     # -- aggregate view --------------------------------------------------------------
 
     def aggregate(self) -> SimulationMetrics:
+        """Fold every deployment's metrics into one cluster-wide view."""
         total = SimulationMetrics(
             horizon=max((m.horizon for m in self.metrics.values()),
                         default=0.0))
         for metrics in self.metrics.values():
-            total.ttfts.extend(metrics.ttfts)
-            total.latencies.extend(metrics.latencies)
-            total.completed += metrics.completed
-            total.arrived += metrics.arrived
-            total.cold_starts += metrics.cold_starts
-            total.provisioned_gpu_seconds += metrics.provisioned_gpu_seconds
-            total.busy_gpu_seconds += metrics.busy_gpu_seconds
+            total.merge(metrics)
         return total

@@ -6,19 +6,30 @@ requests up to the batch cap (paying their eager prefill), then decodes one
 token for every running sequence (graph-replayed when the strategy kept CUDA
 graphs).  TTFT is recorded when a request's prefill iteration completes —
 the quantity cold starts push into the tail (§7.5).
+
+When launched from a :class:`ColdStartProfile` that carries a scheduled
+LoadPlan timeline, the cold start is *stage-granular*: the instance knows
+every :class:`repro.engine.loadplan.ScheduledStage` of its restore, becomes
+request-ready at ``Timeline.ready`` (not ``total``), pays a contention
+penalty on serving steps that overlap the background restore tail, and can
+be **cancelled at a stage boundary** by the cluster's scale-down policy
+instead of only before launch or after readiness.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 from collections import deque
 
 from repro.engine.strategies import Strategy
 from repro.errors import SchedulingError
 from repro.serverless.costs import ServingCostModel
 from repro.serverless.workload import Request
+
+#: Numerical slack for "these instants coincide" on stage boundaries.
+_EPS = 1e-12
 
 
 @dataclass(frozen=True)
@@ -77,6 +88,11 @@ class InstanceConfig:
     max_running: int = 14       # concurrent sequences per instance
     use_cuda_graphs: bool = True
     deferred_capture: bool = False   # §2.4: capture lazily while serving
+    #: Fractional slowdown of serving steps that overlap a pipelined
+    #: restore's background tail: the tail streams graph pools over PCIe
+    #: and replays restore work on the GPU while the instance already
+    #: serves, so early steps contend with it.
+    background_tail_penalty: float = 0.15
 
 
 @dataclass
@@ -112,20 +128,37 @@ class Instance:
 
     def __init__(self, costs: ServingCostModel, config: InstanceConfig,
                  launched_at: float, cold_start_latency: float,
-                 profile: Optional[ColdStartProfile] = None):
+                 profile: Optional[ColdStartProfile] = None,
+                 model_name: str = ""):
         self.instance_id = next(Instance._ids)
         self.costs = costs
         self.config = config
         self.profile = profile       # the cold-start plan trace, if known
+        self.model_name = model_name
         self.launched_at = launched_at
         self.ready_at = launched_at + cold_start_latency
         self.waiting: Deque[Request] = deque()
         self.running: List[_RunningSequence] = []
         self.stepping = False
         self.retired = False
+        self.hot_spare = False
         self.last_busy_at = self.ready_at
         self.busy_time = 0.0
         self._captured_batches: set = set()
+        # -- stage-granular cold start (profile timelines only) -------------
+        self.cold_stages: List[object] = []
+        self.restore_tail_until = self.ready_at
+        self.cancelled = False
+        self.cancelled_stage = ""
+        self.cold_events: List[object] = []   # kernel Events, set by the pool
+        timeline = getattr(profile, "timeline", None) \
+            if profile is not None else None
+        if cold_start_latency > 0 and timeline is not None \
+                and getattr(timeline, "stages", None):
+            self.cold_stages = list(timeline.stage_events())
+            if timeline.has_background:
+                self.restore_tail_until = max(self.ready_at,
+                                              launched_at + timeline.total)
 
     # -- load accounting ----------------------------------------------------
 
@@ -143,6 +176,39 @@ class Instance:
                 f"instance {self.instance_id} is retired; cannot enqueue")
         self.waiting.append(request)
 
+    # -- cold-start cancellation ----------------------------------------------
+
+    def cancel_cold_start(self, now: float) -> Optional[Tuple[float, str]]:
+        """Abort an in-flight stage-granular cold start.
+
+        The abort takes effect at the earliest stage boundary at or after
+        ``now`` that precedes readiness: the stage completing there is the
+        last work this instance does; everything later (including the
+        ready event) is abandoned, the GPU frees at the boundary, and the
+        instance retires.  Returns ``(boundary_time, stage_name)`` on
+        success, or ``None`` when the cold start cannot be cancelled —
+        already ready/retired, serving work in flight, or a scalar
+        (stage-less) cold start, which can only be dropped before launch
+        or retired after readiness (the pre-kernel behaviour).
+        """
+        if self.retired or self.cancelled or now >= self.ready_at - _EPS:
+            return None
+        if self.running or self.stepping:
+            return None
+        boundary: Optional[Tuple[float, str]] = None
+        for stage in self.cold_stages:
+            end = self.launched_at + stage.end
+            if end + _EPS >= now and end < self.ready_at - _EPS:
+                if boundary is None or end < boundary[0]:
+                    boundary = (end, stage.name)
+        if boundary is None:
+            return None
+        self.retired = True
+        self.cancelled = True
+        self.retired_at = boundary[0]
+        self.cancelled_stage = boundary[1]
+        return boundary
+
     # -- one serving iteration ------------------------------------------------
 
     def run_step(self, now: float) -> "StepResult":
@@ -154,7 +220,6 @@ class Instance:
             raise SchedulingError(
                 f"instance {self.instance_id} stepped without work")
         duration = 0.0
-        first_tokens: List[CompletedRequest] = []
         admitted: List[_RunningSequence] = []
         while self.waiting and len(self.running) < self.config.max_running:
             request = self.waiting.popleft()
@@ -177,6 +242,12 @@ class Instance:
             for sequence in self.running:
                 if sequence not in admitted:
                     sequence.generated += 1
+        contention = 0.0
+        if duration > 0 and now < self.restore_tail_until - _EPS:
+            # The background restore tail is still streaming: early serving
+            # contends with it (§7.3's overlap, seen from the serving side).
+            contention = duration * self.config.background_tail_penalty
+            duration += contention
         end = now + duration
         for sequence in admitted:
             sequence.first_token_time = end
@@ -190,11 +261,17 @@ class Instance:
         self.running = [seq for seq in self.running if not seq.done]
         self.last_busy_at = end
         self.busy_time += duration
-        return StepResult(duration=duration, ttfts=ttfts, completed=completed)
+        return StepResult(duration=duration, ttfts=ttfts,
+                          completed=completed,
+                          background_contention=contention)
 
 
 @dataclass
 class StepResult:
+    """Outcome of one continuous-batching iteration."""
+
     duration: float
     ttfts: List
     completed: List[CompletedRequest]
+    #: Extra seconds this step paid for overlapping the restore tail.
+    background_contention: float = 0.0

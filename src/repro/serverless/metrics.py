@@ -27,6 +27,19 @@ class SimulationMetrics:
     # and static lint entirely (see repro.core.store.ArtifactStore).
     store_cache_hits: int = 0
     store_cache_misses: int = 0
+    # Stage-granular cold-start accounting (profile-driven launches only):
+    # summed seconds and completion counts per LoadPlan stage name, as
+    # observed from the cluster's stage-done events.
+    cold_stage_seconds: Dict[str, float] = field(default_factory=dict)
+    cold_stage_counts: Dict[str, int] = field(default_factory=dict)
+    # Cold starts the scale-down policy aborted mid-flight, keyed by the
+    # stage boundary the cancellation took effect at.
+    cancelled_cold_starts: int = 0
+    cancelled_at_stage: Dict[str, int] = field(default_factory=dict)
+    # Serving steps that overlapped a pipelined restore's background tail
+    # (and the extra seconds that contention cost them).
+    background_contended_steps: int = 0
+    background_contention_seconds: float = 0.0
     provisioned_gpu_seconds: float = 0.0   # ready time across instances
     busy_gpu_seconds: float = 0.0          # time instances spent serving
 
@@ -44,6 +57,24 @@ class SimulationMetrics:
         else:
             self.store_cache_misses += 1
 
+    def record_cold_stage(self, name: str, duration: float) -> None:
+        """Account one completed cold-start stage event."""
+        self.cold_stage_seconds[name] = \
+            self.cold_stage_seconds.get(name, 0.0) + duration
+        self.cold_stage_counts[name] = \
+            self.cold_stage_counts.get(name, 0) + 1
+
+    def record_cancelled_cold_start(self, stage: str) -> None:
+        """Account one cold start aborted at stage boundary ``stage``."""
+        self.cancelled_cold_starts += 1
+        self.cancelled_at_stage[stage] = \
+            self.cancelled_at_stage.get(stage, 0) + 1
+
+    def record_background_contention(self, seconds: float) -> None:
+        """Account one serving step slowed by the background restore tail."""
+        self.background_contended_steps += 1
+        self.background_contention_seconds += seconds
+
     def record_completion(self, latency: float,
                           in_horizon: bool = True) -> None:
         self.latencies.append(latency)
@@ -53,6 +84,11 @@ class SimulationMetrics:
     @property
     def p99_ttft(self) -> float:
         return percentile(self.ttfts, 99.0)
+
+    @property
+    def p90_ttft(self) -> float:
+        """The 90th-percentile TTFT (the tail Figures 10/11 track)."""
+        return percentile(self.ttfts, 90.0)
 
     @property
     def p50_ttft(self) -> float:
@@ -80,9 +116,39 @@ class SimulationMetrics:
             return 0.0
         return self.completed / self.horizon
 
+    def merge(self, other: "SimulationMetrics") -> None:
+        """Fold ``other``'s counters into this aggregate view."""
+        self.ttfts.extend(other.ttfts)
+        self.latencies.extend(other.latencies)
+        self.completed += other.completed
+        self.arrived += other.arrived
+        self.cold_starts += other.cold_starts
+        self.degraded_cold_starts += other.degraded_cold_starts
+        for rung, count in other.degraded_rungs.items():
+            self.degraded_rungs[rung] = \
+                self.degraded_rungs.get(rung, 0) + count
+        self.store_cache_hits += other.store_cache_hits
+        self.store_cache_misses += other.store_cache_misses
+        for name, seconds in other.cold_stage_seconds.items():
+            self.cold_stage_seconds[name] = \
+                self.cold_stage_seconds.get(name, 0.0) + seconds
+        for name, count in other.cold_stage_counts.items():
+            self.cold_stage_counts[name] = \
+                self.cold_stage_counts.get(name, 0) + count
+        self.cancelled_cold_starts += other.cancelled_cold_starts
+        for stage, count in other.cancelled_at_stage.items():
+            self.cancelled_at_stage[stage] = \
+                self.cancelled_at_stage.get(stage, 0) + count
+        self.background_contended_steps += other.background_contended_steps
+        self.background_contention_seconds += \
+            other.background_contention_seconds
+        self.provisioned_gpu_seconds += other.provisioned_gpu_seconds
+        self.busy_gpu_seconds += other.busy_gpu_seconds
+
     def summary(self) -> Dict[str, float]:
         report = {f"ttft_{k}": v for k, v in summarize(self.ttfts).items()}
         report.update({
+            "p90_ttft": self.p90_ttft,
             "arrived": float(self.arrived),
             "completed": float(self.completed),
             "throughput": self.throughput,
@@ -90,5 +156,12 @@ class SimulationMetrics:
             "degraded_cold_starts": float(self.degraded_cold_starts),
             "store_cache_hits": float(self.store_cache_hits),
             "store_cache_misses": float(self.store_cache_misses),
+            "cancelled_cold_starts": float(self.cancelled_cold_starts),
+            "background_contended_steps":
+                float(self.background_contended_steps),
+            "background_contention_seconds":
+                self.background_contention_seconds,
         })
+        for name in sorted(self.cold_stage_seconds):
+            report[f"cold_stage[{name}]"] = self.cold_stage_seconds[name]
         return report

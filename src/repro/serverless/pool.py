@@ -1,0 +1,214 @@
+"""Shared event-kernel machinery for the cluster simulators.
+
+Before the :mod:`repro.sim` kernel existed, ``serverless/simulator.py``
+and ``serverless/cluster.py`` each hand-rolled a near-identical ``heapq``
+event loop (duplicated arrival / instance-ready / step-done machinery) and
+collapsed a cold start to one scalar.  This module is the one place that
+loop now lives: :class:`PoolSimulatorBase` wires a typed
+:class:`repro.sim.EventLoop`, executes **stage-granular cold starts**
+(each :class:`repro.engine.loadplan.ScheduledStage` of a profile's
+timeline becomes a ``cold_stage_done`` event), records every occurrence
+into the kernel's trace for the Chrome exporter, and exposes the
+stage-boundary cancellation primitive scale-down policies use.
+
+Subclasses own *policy* — routing, capacity, retirement floors — and the
+base owns *mechanism*: event kinds, dispatch order, stepping, metrics
+plumbing.  Event kinds tie-break in declared order (arrivals before stage
+completions before readiness before step completions), matching the
+legacy loops' integer kind ordering, so scalar-cold-start runs reproduce
+the pre-kernel metrics bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.serverless.instance import Instance
+from repro.serverless.metrics import SimulationMetrics
+from repro.sim import EventLoop
+
+#: Event kinds, in tie-break (dispatch-priority) order.
+ARRIVAL = "arrival"
+COLD_STAGE_DONE = "cold_stage_done"
+INSTANCE_READY = "instance_ready"
+STEP_DONE = "step_done"
+
+_EPS = 1e-12
+
+
+def _track(instance: Instance) -> str:
+    """The trace track one instance's events land on."""
+    return f"instance-{instance.instance_id}"
+
+
+class PoolSimulatorBase:
+    """The discrete-event core shared by both cluster simulators.
+
+    Provides the event loop (:attr:`loop`), instance lifecycle events,
+    stage-granular cold starts, the serving step cycle, keep-alive
+    retirement, and cold-start cancellation.  Subclasses implement
+    ``_route`` (what happens on an arrival), ``_metrics_for`` (which
+    :class:`SimulationMetrics` an instance reports into), and
+    ``_live_instances``; they may override ``_retirement_floor`` and
+    ``_consider_abort`` for policy.
+    """
+
+    #: Idle seconds before a non-spare instance retires.
+    keep_alive: float = 20.0
+
+    loop: EventLoop
+    horizon: float = 0.0
+
+    # -- subclass hooks -------------------------------------------------------
+
+    def _route(self, payload: object, now: float) -> None:
+        """Handle one arrival payload (request or tagged request)."""
+        raise NotImplementedError
+
+    def _metrics_for(self, instance: Instance) -> SimulationMetrics:
+        """The metrics sink ``instance``'s events are recorded into."""
+        raise NotImplementedError
+
+    def _live_instances(self) -> List[Instance]:
+        """Every non-retired instance in the pool."""
+        raise NotImplementedError
+
+    def _retirement_floor(self) -> int:
+        """Minimum live-instance count keep-alive retirement preserves."""
+        return 0
+
+    def _consider_abort(self, instance: Instance, stage: object,
+                        now: float) -> None:
+        """Scale-down policy hook, called at every cold-stage boundary."""
+
+    # -- loop lifecycle -------------------------------------------------------
+
+    def _begin_run(self, horizon: float, seed: int = 0) -> EventLoop:
+        """Build a fresh event loop with the pool's handlers registered."""
+        self.horizon = horizon
+        loop = EventLoop(seed=seed)
+        loop.on(ARRIVAL, self._on_arrival, priority=0)
+        loop.on(COLD_STAGE_DONE, self._on_cold_stage_done, priority=1)
+        loop.on(INSTANCE_READY, self._on_instance_ready, priority=2)
+        loop.on(STEP_DONE, self._on_step_done, priority=3)
+        self.loop = loop
+        return loop
+
+    # -- instance lifecycle ---------------------------------------------------
+
+    def _launch_events(self, instance: Instance) -> None:
+        """Schedule the ready event and every cold-stage completion."""
+        events = [self.loop.schedule(instance.ready_at, INSTANCE_READY,
+                                     instance)]
+        for stage in instance.cold_stages:
+            events.append(self.loop.schedule(
+                instance.launched_at + stage.end, COLD_STAGE_DONE,
+                (instance, stage)))
+        instance.cold_events = events
+
+    def _cancel_cold_start(self, instance: Instance, now: float,
+                           reason: str = "") -> Optional[Tuple[float, str]]:
+        """Abort ``instance``'s cold start at the next stage boundary.
+
+        Cancels every pending event past the boundary (later restore
+        stages and the ready event), retires the instance there, and
+        records the cancellation; returns ``(boundary_time, stage_name)``
+        or ``None`` when the instance refused (see
+        :meth:`Instance.cancel_cold_start`).  The caller is responsible
+        for re-routing any requests still waiting on the instance.
+        """
+        boundary = instance.cancel_cold_start(now)
+        if boundary is None:
+            return None
+        boundary_time, boundary_stage = boundary
+        for event in instance.cold_events:
+            if event.time > boundary_time + _EPS:
+                self.loop.cancel(event)
+        self._metrics_for(instance).record_cancelled_cold_start(
+            boundary_stage)
+        self.loop.trace.mark("cold_start_cancelled", now,
+                             track=_track(instance), stage=boundary_stage,
+                             effective_at=boundary_time, reason=reason)
+        return boundary
+
+    # -- event handlers -------------------------------------------------------
+
+    def _on_arrival(self, event) -> None:
+        """Dispatch one arrival to the subclass's router."""
+        self._route(event.payload, self.loop.now)
+
+    def _on_cold_stage_done(self, event) -> None:
+        """Account one completed cold-start stage and poll the policy."""
+        instance, stage = event.payload
+        now = self.loop.now
+        self._metrics_for(instance).record_cold_stage(stage.name,
+                                                      stage.duration)
+        self.loop.trace.span(
+            stage.name, instance.launched_at + stage.start,
+            instance.launched_at + stage.end, track=_track(instance),
+            lane=getattr(stage, "lane", ""),
+            background=bool(getattr(stage, "background", False)),
+            critical=bool(getattr(stage, "critical", False)),
+            cold_start=True)
+        if stage.name.startswith("degrade_"):
+            # A degradation-ladder rung executed on this cold start: make
+            # it visible at cluster level, not only inside the engine.
+            self.loop.trace.mark("ladder_rung", now, track=_track(instance),
+                                 stage=stage.name)
+        self._consider_abort(instance, stage, now)
+
+    def _on_instance_ready(self, event) -> None:
+        """An instance finished its foreground cold start: start serving."""
+        instance = event.payload
+        if instance.retired:
+            return
+        self.loop.trace.mark("instance_ready", self.loop.now,
+                             track=_track(instance))
+        self._maybe_step(instance, self.loop.now)
+
+    def _on_step_done(self, event) -> None:
+        """Record one serving iteration's TTFTs/completions; continue."""
+        instance, result = event.payload
+        now = self.loop.now
+        instance.stepping = False
+        metrics = self._metrics_for(instance)
+        for _request, ttft in result.ttfts:
+            metrics.record_ttft(ttft)
+        for completion in result.completed:
+            metrics.record_completion(
+                completion.latency,
+                in_horizon=completion.completion_time <= self.horizon)
+        if result.background_contention > 0:
+            metrics.record_background_contention(
+                result.background_contention)
+        self._maybe_step(instance, now)
+        self._maybe_retire(instance, now)
+
+    # -- serving / retirement -------------------------------------------------
+
+    def _maybe_step(self, instance: Instance, now: float) -> None:
+        """Start one continuous-batching iteration if the instance can."""
+        if (instance.stepping or instance.retired
+                or now < instance.ready_at or not instance.has_work):
+            return
+        instance.stepping = True
+        result = instance.run_step(now)
+        self.loop.schedule(now + result.duration, STEP_DONE,
+                           (instance, result))
+        self.loop.trace.span(
+            "serve_step", now, now + result.duration,
+            track=_track(instance), admitted=len(result.ttfts),
+            completed=len(result.completed),
+            contended=result.background_contention > 0)
+
+    def _maybe_retire(self, instance: Instance, now: float) -> None:
+        """Retire an idle instance once keep-alive expires (policy-gated)."""
+        if instance.has_work or instance.stepping or instance.retired:
+            return
+        if instance.hot_spare:
+            return   # §2.4: hot spares stay provisioned (and waste GPUs)
+        if now - instance.last_busy_at >= self.keep_alive and \
+                len(self._live_instances()) > self._retirement_floor():
+            instance.retired = True
+            instance.retired_at = now
+            self.loop.trace.mark("retired", now, track=_track(instance))

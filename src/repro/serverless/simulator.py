@@ -7,16 +7,23 @@ launches a new instance, which becomes ready after the *strategy-specific
 cold-start latency* — the quantity Medusa shrinks.  Runtime initialization
 is assumed warm-pooled (as in the paper: "the time required to launch an
 inference serving instance is equal to the duration of the loading phase").
+
+The event loop itself lives in :class:`repro.serverless.pool.
+PoolSimulatorBase` on top of the :mod:`repro.sim` kernel.  When the
+scenario carries a :class:`ColdStartProfile` with a scheduled LoadPlan
+timeline, cold starts are stage-granular: instances admit requests at
+``Timeline.ready`` (ahead of the background restore tail), tail stages
+contend with early serving, and — with ``abort_cold_starts`` enabled — a
+startup whose queued requests can be absorbed by freed capacity is
+cancelled at the next stage boundary instead of running to completion.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
-from repro.errors import InvalidValueError, SchedulingError
+from repro.errors import InvalidValueError
 from repro.serverless.costs import ServingCostModel
 from repro.serverless.instance import (
     ColdStartProfile,
@@ -24,11 +31,8 @@ from repro.serverless.instance import (
     InstanceConfig,
 )
 from repro.serverless.metrics import SimulationMetrics
+from repro.serverless.pool import ARRIVAL, PoolSimulatorBase
 from repro.serverless.workload import Request
-
-_ARRIVAL = 0
-_INSTANCE_READY = 1
-_STEP_DONE = 2
 
 
 @dataclass(frozen=True)
@@ -45,6 +49,13 @@ class SimulationConfig:
     keep_alive: float = 20.0              # idle seconds before retiring
     drain: bool = True                    # serve queued work past the horizon
     profile: Optional[ColdStartProfile] = None   # plan trace, if derived
+    #: Fractional serving slowdown while a pipelined restore's background
+    #: tail is still streaming (stage-granular cold starts only).
+    background_tail_penalty: float = 0.15
+    #: Scale-down policy: cancel an in-flight stage-granular cold start at
+    #: its next stage boundary when ready instances can absorb every
+    #: request queued on it (ServerlessLLM-style startup abort).
+    abort_cold_starts: bool = False
     #: Optional ArtifactStore(-like) object fetched from on every cold
     #: start, with ``artifact_key = (gpu_name, model_name)``: models
     #: repeated cold starts on one node hitting the store's in-memory LRU,
@@ -75,46 +86,58 @@ class SimulationConfig:
                    profile=profile, **overrides)
 
 
-class ClusterSimulator:
+class ClusterSimulator(PoolSimulatorBase):
     """Runs one scenario over one request trace."""
 
     def __init__(self, costs: ServingCostModel, config: SimulationConfig):
         self.costs = costs
         self.config = config
+        self.keep_alive = config.keep_alive
         self.instances: List[Instance] = []
         self.metrics = SimulationMetrics()
-        self._events: List[Tuple[float, int, int, object]] = []
-        self._seq = itertools.count()
-        self._now = 0.0
+        self._begin_run(horizon=0.0)
 
-    # -- event plumbing -----------------------------------------------------
+    # -- pool hooks ----------------------------------------------------------
 
-    def _push(self, time: float, kind: int, payload: object) -> None:
-        heapq.heappush(self._events, (time, kind, next(self._seq), payload))
+    def _metrics_for(self, instance: Instance) -> SimulationMetrics:
+        """Single-model pool: every instance reports into one sink."""
+        return self.metrics
 
-    # -- instance management ------------------------------------------------------
+    def _retirement_floor(self) -> int:
+        """Keep the always-on capacity: initial instances + hot spares."""
+        return self.config.initial_instances + self.config.hot_spares
 
     def _live_instances(self) -> List[Instance]:
+        """Every non-retired instance, ready or still cold-starting."""
         return [inst for inst in self.instances if not inst.retired]
+
+    # -- instance management --------------------------------------------------
 
     def _launch_instance(self, now: float, cold: bool = True,
                          hot_spare: bool = False) -> Instance:
-        latency = self.config.cold_start_latency if cold else 0.0
+        """Provision one instance; cold launches execute the LoadPlan."""
+        profile = self.config.profile if cold else None
+        if not cold:
+            latency = 0.0
+        elif profile is not None:
+            latency = profile.serving_ready_time
+        else:
+            latency = self.config.cold_start_latency
         instance = Instance(
             costs=self.costs,
             config=InstanceConfig(
                 max_running=self.config.max_running,
                 use_cuda_graphs=self.config.use_cuda_graphs,
-                deferred_capture=self.config.deferred_capture),
+                deferred_capture=self.config.deferred_capture,
+                background_tail_penalty=self.config.background_tail_penalty),
             launched_at=now,
             cold_start_latency=latency,
-            profile=self.config.profile,
+            profile=profile,
         )
         instance.hot_spare = hot_spare
         self.instances.append(instance)
         if cold:
             self.metrics.cold_starts += 1
-            profile = self.config.profile
             if profile is not None and profile.degraded_rung:
                 self.metrics.record_degraded_cold_start(
                     profile.degraded_rung)
@@ -124,10 +147,11 @@ class ClusterSimulator:
                 store.get(*self.config.artifact_key)
                 self.metrics.record_store_cache(
                     hit=store.cache_hits > hits_before)
-        self._push(instance.ready_at, _INSTANCE_READY, instance)
+        self._launch_events(instance)
         return instance
 
     def _route(self, request: Request, now: float) -> None:
+        """Least-loaded routing with scale-from-zero autoscaling."""
         live = self._live_instances()
         candidates = [inst for inst in live
                       if inst.load < self.config.max_running]
@@ -142,63 +166,68 @@ class ClusterSimulator:
         target.enqueue(request)
         self._maybe_step(target, now)
 
-    def _maybe_step(self, instance: Instance, now: float) -> None:
-        if (instance.stepping or instance.retired
-                or now < instance.ready_at or not instance.has_work):
-            return
-        instance.stepping = True
-        result = instance.run_step(now)
-        self._push(now + result.duration, _STEP_DONE, (instance, result))
+    # -- scale-down policy ------------------------------------------------------
 
-    def _maybe_retire(self, instance: Instance, now: float) -> None:
-        if instance.has_work or instance.stepping or instance.retired:
+    def _consider_abort(self, instance: Instance, stage, now: float) -> None:
+        """Cancel a now-pointless cold start at this stage boundary.
+
+        If ready instances have freed enough capacity to absorb every
+        request queued on a still-cold instance (beyond the provisioning
+        floor), finishing the startup only wastes GPU time: re-route the
+        queue and abort at the boundary we are standing on.
+        """
+        if not self.config.abort_cold_starts:
             return
-        if getattr(instance, "hot_spare", False):
-            return   # §2.4: hot spares stay provisioned (and waste GPUs)
-        floor = self.config.initial_instances + self.config.hot_spares
-        if now - instance.last_busy_at >= self.config.keep_alive and \
-                len(self._live_instances()) > floor:
-            instance.retired = True
-            instance.retired_at = now
+        if instance.retired or instance.running or instance.stepping:
+            return
+        if now >= instance.ready_at:
+            return
+        live = self._live_instances()
+        if len(live) <= self._retirement_floor():
+            return
+        ready = [inst for inst in live
+                 if inst is not instance and now >= inst.ready_at]
+        spare = sum(max(0, self.config.max_running - inst.load)
+                    for inst in ready)
+        if spare < len(instance.waiting):
+            return
+        rerouted = list(instance.waiting)
+        instance.waiting.clear()
+        if self._cancel_cold_start(instance, now,
+                                   reason="free_capacity") is None:
+            instance.waiting.extend(rerouted)
+            return
+        for request in rerouted:
+            self._route(request, now)
+
+    # -- event handlers ---------------------------------------------------------
+
+    def _on_arrival(self, event) -> None:
+        """Route one arrival (dropped past the horizon unless draining)."""
+        now = self.loop.now
+        if not self.config.drain and now > self.horizon:
+            return
+        self._route(event.payload, now)
 
     # -- main loop ------------------------------------------------------------------
 
     def run(self, requests: List[Request], horizon: float) -> SimulationMetrics:
+        """Simulate the full trace; returns the run's metrics."""
         self.metrics = SimulationMetrics(horizon=horizon)
         self.metrics.arrived = len(requests)
-        self._events = []
+        self.instances = []
+        self._begin_run(horizon)
         for _ in range(self.config.initial_instances):
             self._launch_instance(0.0, cold=False)
         for _ in range(self.config.hot_spares):
             self._launch_instance(0.0, cold=False, hot_spare=True)
         for request in requests:
-            self._push(request.arrival_time, _ARRIVAL, request)
+            self.loop.schedule(request.arrival_time, ARRIVAL, request)
 
-        while self._events:
-            time, kind, _seq, payload = heapq.heappop(self._events)
-            self._now = time
-            if not self.config.drain and time > horizon and kind == _ARRIVAL:
-                continue
-            if kind == _ARRIVAL:
-                self._route(payload, time)
-            elif kind == _INSTANCE_READY:
-                self._maybe_step(payload, time)
-            elif kind == _STEP_DONE:
-                instance, result = payload
-                instance.stepping = False
-                for _request, ttft in result.ttfts:
-                    self.metrics.record_ttft(ttft)
-                for completion in result.completed:
-                    self.metrics.record_completion(
-                        completion.latency,
-                        in_horizon=completion.completion_time <= horizon)
-                self._maybe_step(instance, time)
-                self._maybe_retire(instance, time)
-            else:  # pragma: no cover - event kinds are closed
-                raise SchedulingError(f"unknown event kind {kind}")
+        self.loop.run()
 
         # GPU-time accounting (the §2.4 hot-spares waste argument).
-        end_of_run = max(horizon, self._now)
+        end_of_run = max(horizon, self.loop.now)
         for instance in self.instances:
             until = getattr(instance, "retired_at", end_of_run)
             self.metrics.provisioned_gpu_seconds += max(

@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel (`repro.sim`).
+
+One typed :class:`EventLoop` replaces the hand-rolled ``heapq`` loops the
+serverless simulators used to carry and subsumes the engine clock's span
+log: stable tie-breaking, a shared time-monotonicity check raising
+:class:`repro.errors.InvalidValueError`, and labelled span/mark trace
+recording that the Chrome-trace exporter renders as one unified view of a
+cluster run.
+"""
+
+from repro.sim.kernel import (
+    Event,
+    EventLoop,
+    Span,
+    TraceRecorder,
+    check_advance,
+)
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "Span",
+    "TraceRecorder",
+    "check_advance",
+]

@@ -1,0 +1,207 @@
+"""The discrete-event simulation kernel shared by every timing substrate.
+
+Before this module existed the repository kept three ad-hoc notions of
+simulated time: the engine's :class:`repro.simgpu.clock.SimClock`, and one
+hand-rolled ``heapq`` loop each in ``repro.serverless.simulator`` and
+``repro.serverless.cluster``.  This kernel unifies them:
+
+- :class:`Event` — a typed, immutable occurrence at one instant, carrying a
+  string ``kind`` and an opaque payload;
+- :class:`EventLoop` — a priority queue with **stable tie-breaking**
+  (``(time, kind priority, insertion sequence)``), so two runs over the
+  same inputs dispatch identical event streams: determinism is structural,
+  not accidental.  Scheduling into the past raises
+  :class:`repro.errors.InvalidValueError` via the same monotonicity check
+  (:func:`check_advance`) the engine clock uses;
+- :class:`TraceRecorder` — labelled span *and* instant-mark recording
+  subsuming the clock's span log, so a whole cluster run (arrivals,
+  per-stage cold starts, serving steps, retirements) can be exported as
+  one Chrome trace by :mod:`repro.reporting.timeline`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import InvalidValueError, SchedulingError
+
+
+def check_advance(now: float, delta: float) -> float:
+    """The kernel's one time-monotonicity check.
+
+    Returns ``now + delta``; a negative ``delta`` (an attempt to move
+    simulated time backwards) raises
+    :class:`repro.errors.InvalidValueError`.  Both the event loop's
+    scheduler and :meth:`repro.simgpu.clock.SimClock.advance` route
+    through this function, so every timing substrate rejects time travel
+    with the same error type.
+    """
+    if delta < 0:
+        raise InvalidValueError(
+            f"cannot advance simulated time by negative delta {delta}")
+    return now + delta
+
+
+@dataclass
+class Span:
+    """A labelled, closed interval of simulated time."""
+
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in simulated seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class TraceRecorder:
+    """Labelled span/mark log for one simulation run.
+
+    Superset of the engine clock's span log: ``spans`` are closed
+    intervals (a cold-start stage, one serving step), ``marks`` are
+    instants (an arrival, a retirement, a degraded-rung event).  Each
+    entry carries a ``track`` (e.g. ``instance-3``) and free-form
+    ``args`` so the Chrome-trace exporter can place it without guessing.
+    """
+
+    spans: List[Span] = field(default_factory=list)
+    tracks: List[str] = field(default_factory=list)
+    args: List[Dict[str, object]] = field(default_factory=list)
+    marks: List[Tuple[str, float, str, Dict[str, object]]] = \
+        field(default_factory=list)
+
+    def span(self, label: str, start: float, end: float,
+             track: str = "", **extra: object) -> Span:
+        """Record one closed interval on ``track``; returns the span."""
+        record = Span(label=label, start=start, end=end)
+        self.spans.append(record)
+        self.tracks.append(track)
+        self.args.append(dict(extra))
+        return record
+
+    def mark(self, label: str, time: float, track: str = "",
+             **extra: object) -> None:
+        """Record one instantaneous event on ``track``."""
+        self.marks.append((label, time, track, dict(extra)))
+
+    def spans_named(self, label: str) -> List[Span]:
+        """Every recorded span carrying ``label``, in record order."""
+        return [s for s in self.spans if s.label == label]
+
+    def total(self, label: str) -> float:
+        """Summed duration of every span named ``label``."""
+        return sum(s.duration for s in self.spans_named(label))
+
+    def last(self, label: str) -> Optional[Span]:
+        """The most recently recorded span named ``label``, if any."""
+        named = self.spans_named(label)
+        return named[-1] if named else None
+
+
+@dataclass(frozen=True)
+class Event:
+    """One typed occurrence at one simulated instant.
+
+    ``seq`` is the loop-local insertion sequence number — together with
+    the kind's registered priority it makes dispatch order a pure
+    function of the schedule calls, independent of heap internals.
+    """
+
+    time: float
+    kind: str
+    seq: int
+    payload: object = None
+
+
+class EventLoop:
+    """A deterministic discrete-event loop with typed handlers.
+
+    Handlers are registered per event kind with :meth:`on`; each
+    registration assigns the kind a tie-break priority (defaulting to
+    registration order), so simultaneous events dispatch in a declared,
+    stable order: ``(time, priority, insertion seq)``.  ``seed`` is
+    carried for consumers that derive randomness per run; the loop itself
+    is deterministic by construction and never consumes entropy.
+    """
+
+    def __init__(self, start: float = 0.0, seed: int = 0):
+        self.now = start
+        self.seed = seed
+        self.dispatched = 0
+        self.trace = TraceRecorder()
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._priorities: Dict[str, int] = {}
+        self._handlers: Dict[str, Callable[[Event], None]] = {}
+        self._cancelled: set = set()
+
+    # -- wiring --------------------------------------------------------------
+
+    def on(self, kind: str, handler: Callable[[Event], None],
+           priority: Optional[int] = None) -> None:
+        """Register ``handler`` for ``kind`` with a tie-break priority."""
+        if kind in self._handlers:
+            raise SchedulingError(f"handler for {kind!r} already registered")
+        self._handlers[kind] = handler
+        self._priorities[kind] = (priority if priority is not None
+                                  else len(self._priorities))
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, time: float, kind: str,
+                 payload: object = None) -> Event:
+        """Enqueue an event at absolute ``time`` (>= now); returns it."""
+        if kind not in self._handlers:
+            raise SchedulingError(
+                f"cannot schedule unregistered event kind {kind!r}; "
+                f"registered: {sorted(self._handlers) or '<none>'}")
+        check_advance(self.now, time - self.now)
+        event = Event(time=time, kind=kind, seq=next(self._seq),
+                      payload=payload)
+        heapq.heappush(self._heap,
+                       (event.time, self._priorities[kind], event.seq,
+                        event))
+        return event
+
+    def schedule_in(self, delay: float, kind: str,
+                    payload: object = None) -> Event:
+        """Enqueue an event ``delay`` seconds from now (>= 0)."""
+        return self.schedule(check_advance(self.now, delay), kind, payload)
+
+    def cancel(self, event: Event) -> None:
+        """Annul a pending event; a no-op if it already dispatched."""
+        self._cancelled.add(event.seq)
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (cancelled ones excluded)."""
+        return sum(1 for *_ignored, event in self._heap
+                   if event.seq not in self._cancelled)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def step(self) -> Optional[Event]:
+        """Dispatch the next event to its handler; None when drained."""
+        while self._heap:
+            time, _priority, seq, event = heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            self.now = time
+            self.dispatched += 1
+            self._handlers[event.kind](event)
+            return event
+        return None
+
+    def run(self) -> int:
+        """Dispatch until the queue drains; returns the dispatch count."""
+        count = 0
+        while self.step() is not None:
+            count += 1
+        return count

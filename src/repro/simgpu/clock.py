@@ -4,6 +4,14 @@ All latencies in this reproduction are *simulated* seconds advanced through
 this clock; nothing sleeps.  The clock also keeps a labelled span log so the
 engine can report per-stage breakdowns (Figures 1, 2, 8) without re-deriving
 them from constants.
+
+The clock is a thin veneer over the discrete-event kernel's timing
+primitives: its :class:`Span` type *is* :class:`repro.sim.Span`, and
+:meth:`SimClock.advance` routes through the kernel's shared
+time-monotonicity check (:func:`repro.sim.kernel.check_advance`), so an
+attempt to move time backwards raises the repository's
+:class:`repro.errors.InvalidValueError` — not a bare ``ValueError`` — from
+every timing substrate alike.
 """
 
 from __future__ import annotations
@@ -12,18 +20,9 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 import contextlib
 
+from repro.sim.kernel import Span, check_advance
 
-@dataclass
-class Span:
-    """A labelled, closed interval of simulated time."""
-
-    label: str
-    start: float
-    end: float
-
-    @property
-    def duration(self) -> float:
-        return self.end - self.start
+__all__ = ["Span", "SimClock"]
 
 
 @dataclass
@@ -35,9 +34,7 @@ class SimClock:
 
     def advance(self, seconds: float) -> float:
         """Advance simulated time by ``seconds`` (must be non-negative)."""
-        if seconds < 0:
-            raise ValueError(f"cannot advance clock by negative time {seconds}")
-        self.now += seconds
+        self.now = check_advance(self.now, seconds)
         return self.now
 
     def advance_to(self, deadline: float) -> float:
@@ -55,11 +52,14 @@ class SimClock:
         self.spans.append(record)
 
     def spans_named(self, label: str) -> List[Span]:
+        """Every recorded span carrying ``label``, in record order."""
         return [s for s in self.spans if s.label == label]
 
     def total(self, label: str) -> float:
+        """Summed duration of every span named ``label``."""
         return sum(s.duration for s in self.spans_named(label))
 
     def last(self, label: str) -> Optional[Span]:
+        """The most recently recorded span named ``label``, if any."""
         named = self.spans_named(label)
         return named[-1] if named else None

@@ -56,4 +56,67 @@ class TestMetrics:
         assert summary["arrived"] == 3.0
         assert summary["completed"] == 1.0
         assert "ttft_p99" in summary
+        assert "p90_ttft" in summary
         assert all(isinstance(v, float) for v in summary.values())
+
+    def test_p90_ttft(self):
+        metrics = SimulationMetrics(horizon=1.0)
+        for value in range(1, 101):
+            metrics.record_ttft(float(value))
+        assert metrics.p90_ttft == pytest.approx(90.0, abs=1.0)
+        assert metrics.p50_ttft < metrics.p90_ttft < metrics.p99_ttft
+
+
+class TestStageColdStartCounters:
+    def test_cold_stage_accumulation(self):
+        metrics = SimulationMetrics(horizon=1.0)
+        metrics.record_cold_stage("fetch_artifact", 0.4)
+        metrics.record_cold_stage("fetch_artifact", 0.6)
+        metrics.record_cold_stage("replay_alloc", 0.3)
+        assert metrics.cold_stage_seconds == pytest.approx(
+            {"fetch_artifact": 1.0, "replay_alloc": 0.3})
+        assert metrics.cold_stage_counts == {"fetch_artifact": 2,
+                                             "replay_alloc": 1}
+        summary = metrics.summary()
+        assert summary["cold_stage[fetch_artifact]"] == pytest.approx(1.0)
+        assert summary["cold_stage[replay_alloc]"] == pytest.approx(0.3)
+
+    def test_cancelled_cold_start_accounting(self):
+        metrics = SimulationMetrics(horizon=1.0)
+        metrics.record_cancelled_cold_start("replay_alloc")
+        metrics.record_cancelled_cold_start("replay_alloc")
+        metrics.record_cancelled_cold_start("fetch_artifact")
+        assert metrics.cancelled_cold_starts == 3
+        assert metrics.cancelled_at_stage == {"replay_alloc": 2,
+                                              "fetch_artifact": 1}
+        assert metrics.summary()["cancelled_cold_starts"] == 3.0
+
+    def test_background_contention_accounting(self):
+        metrics = SimulationMetrics(horizon=1.0)
+        metrics.record_background_contention(0.05)
+        metrics.record_background_contention(0.15)
+        assert metrics.background_contended_steps == 2
+        assert metrics.background_contention_seconds == pytest.approx(0.2)
+        summary = metrics.summary()
+        assert summary["background_contended_steps"] == 2.0
+        assert summary["background_contention_seconds"] == pytest.approx(0.2)
+
+    def test_merge_folds_every_stage_counter(self):
+        left = SimulationMetrics(horizon=10.0)
+        right = SimulationMetrics(horizon=10.0)
+        left.record_cold_stage("s1", 1.0)
+        right.record_cold_stage("s1", 2.0)
+        right.record_cold_stage("s2", 0.5)
+        left.record_cancelled_cold_start("s1")
+        right.record_cancelled_cold_start("s2")
+        right.record_background_contention(0.25)
+        right.record_degraded_cold_start("partial")
+        left.merge(right)
+        assert left.cold_stage_seconds == pytest.approx({"s1": 3.0,
+                                                         "s2": 0.5})
+        assert left.cold_stage_counts == {"s1": 2, "s2": 1}
+        assert left.cancelled_cold_starts == 2
+        assert left.cancelled_at_stage == {"s1": 1, "s2": 1}
+        assert left.background_contended_steps == 1
+        assert left.background_contention_seconds == pytest.approx(0.25)
+        assert left.degraded_rungs == {"partial": 1}

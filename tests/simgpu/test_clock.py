@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.simgpu.clock import SimClock
+from repro.errors import InvalidValueError
+from repro.simgpu.clock import SimClock, Span
+from repro.sim import Span as KernelSpan
 
 
 class TestAdvance:
@@ -12,10 +14,15 @@ class TestAdvance:
         clock.advance(0.5)
         assert clock.now == 2.0
 
-    def test_advance_rejects_negative(self):
+    def test_advance_rejects_negative_with_repo_error(self):
+        # Routed through the event kernel's monotonicity check: the repo's
+        # InvalidValueError, not a bare ValueError.
         clock = SimClock()
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidValueError):
             clock.advance(-0.1)
+
+    def test_span_type_is_the_kernel_span(self):
+        assert Span is KernelSpan
 
     def test_advance_to_never_moves_backwards(self):
         clock = SimClock()

@@ -46,6 +46,7 @@ from repro.serverless import (
     ServingCostModel,
     ShareGPTWorkload,
     SimulationConfig,
+    policy_names,
 )
 
 _STRATEGY_NAMES = {
@@ -153,6 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--duration", type=float, default=300.0)
     simulate.add_argument("--gpus", type=int, default=4)
     simulate.add_argument("--seed", type=int, default=42)
+    simulate.add_argument(
+        "--placement", choices=policy_names(), default="locality",
+        help="artifact placement across nodes: 'flat' reproduces the "
+             "pre-placement simulator; 'locality' routes cold starts to "
+             "the node caching the artifact in the warmest tier; "
+             "'affinity' adds residency-history fallback")
     simulate.add_argument(
         "--trace", metavar="PATH", default=None,
         help="write the whole run (arrivals, per-stage cold starts, "
@@ -364,13 +371,14 @@ def _cmd_simulate(args) -> int:
                                 seed=args.seed)
     simulator = ClusterSimulator(
         ServingCostModel(args.model),
-        SimulationConfig.from_report(report, num_gpus=args.gpus))
+        SimulationConfig.from_report(report, num_gpus=args.gpus,
+                                     placement=args.placement))
     metrics = simulator.run(workload.generate(), horizon=args.duration)
     summary = metrics.summary()
     rows = [[key, value] for key, value in sorted(summary.items())]
     print(format_table(
         f"Trace simulation: {args.model}, {strategy.label}, "
-        f"RPS {args.rps:g}, {args.gpus} GPUs",
+        f"RPS {args.rps:g}, {args.gpus} GPUs, {args.placement} placement",
         ["metric", "value"], rows))
     if args.trace:
         from repro.reporting.timeline import save_simulation_trace

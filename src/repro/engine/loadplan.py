@@ -177,6 +177,9 @@ class Timeline:
                 f"timeline has no stage {name!r}; available: {available}")
         return stage
 
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
     def bubble(self) -> float:
         """Idle time on the critical path between overlapped branches.
 
@@ -356,6 +359,76 @@ def append_stages(plan: LoadPlan, names: Sequence[str],
     stages[anchor + 1:anchor + 1] = extra
     return LoadPlan(plan.name + suffix, tuple(stages),
                     description=plan.description)
+
+
+def retime_stage(timeline: Timeline, name: str,
+                 duration: float) -> Timeline:
+    """A copy of ``timeline`` with one stage's duration replaced.
+
+    The locality placement layer uses this to rewrite ``fetch_artifact``:
+    the tier an artifact is served from changes how long the fetch stage
+    takes, and every stage scheduled after it moves accordingly.  For
+    timelines that carry their plan's dependency metadata the whole DAG
+    is re-list-scheduled exactly as :meth:`LoadPlan.schedule` would (lane
+    serialization included), so overlap structure is preserved rather
+    than approximated.  Hand-built timelines (no ``deps``) fall back to a
+    rigid shift: the retimed stage stretches or shrinks in place and
+    every stage starting at or after its old end slides by the delta.
+    """
+    if duration < 0:
+        raise EngineError(
+            f"stage {name!r} cannot be retimed to negative "
+            f"duration {duration}")
+    old = timeline.stage(name)
+    if abs(duration - old.duration) <= _EPS:
+        return timeline
+    if timeline.deps:
+        return _reschedule(timeline, name, duration)
+    delta = duration - old.duration
+    stages: List[ScheduledStage] = []
+    for stage in timeline.stages:
+        if stage.name == name:
+            stages.append(ScheduledStage(
+                stage.name, stage.start, stage.start + duration,
+                lane=stage.lane, critical=stage.critical,
+                background=stage.background))
+        elif stage.start >= old.end - _EPS:
+            stages.append(ScheduledStage(
+                stage.name, stage.start + delta, stage.end + delta,
+                lane=stage.lane, critical=stage.critical,
+                background=stage.background))
+        else:
+            stages.append(stage)
+    return Timeline(timeline.strategy, stages, plan=timeline.plan)
+
+
+def _reschedule(timeline: Timeline, name: str,
+                duration: float) -> Timeline:
+    """List-schedule a timeline afresh with one stage duration replaced."""
+    durations = {stage.name: stage.duration for stage in timeline.stages}
+    durations[name] = duration
+    finished: Dict[str, float] = {}
+    lane_free: Dict[str, float] = {}
+    lane_prev: Dict[str, str] = {}
+    blockers: Dict[str, Tuple[str, ...]] = {}
+    placed: List[ScheduledStage] = []
+    for stage in timeline.stages:   # declaration (topological) order
+        deps = timeline.deps.get(stage.name, ())
+        start = max((finished[dep] for dep in deps), default=0.0)
+        start = max(start, lane_free.get(stage.lane, 0.0))
+        end = start + durations[stage.name]
+        finished[stage.name] = end
+        preds = list(deps)
+        if stage.lane in lane_prev:
+            preds.append(lane_prev[stage.lane])
+        blockers[stage.name] = tuple(preds)
+        lane_free[stage.lane] = end
+        lane_prev[stage.lane] = stage.name
+        placed.append(ScheduledStage(stage.name, start, end,
+                                     lane=stage.lane,
+                                     background=stage.background))
+    return Timeline(timeline.strategy, _mark_critical(placed, blockers),
+                    plan=timeline.plan, deps=dict(timeline.deps))
 
 
 def _mark_critical(placed: Sequence[ScheduledStage],

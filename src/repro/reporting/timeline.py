@@ -44,6 +44,24 @@ _RESOURCE_TRACKS = {
 
 _MICRO = 1_000_000
 
+#: Placement-layer marks describe node cache traffic, not one instance's
+#: lifecycle: render them process-scoped (the vertical line spans every
+#: thread row) and color-coded so hits, misses, and evictions are
+#: tellable apart at a glance in Perfetto.
+_PLACEMENT_CNAMES = {
+    "artifact_promoted": "good",
+    "artifact_evicted": "terrible",
+}
+
+
+def _placement_style(label: str, args: Dict) -> Dict:
+    """Scope/color overrides for artifact placement instant events."""
+    if label == "artifact_fetch":
+        return {"s": "p", "cname": "good" if args.get("hit") else "bad"}
+    if label in _PLACEMENT_CNAMES:
+        return {"s": "p", "cname": _PLACEMENT_CNAMES[label]}
+    return {}
+
 
 def _track(stage) -> int:
     lane = getattr(stage, "lane", "")
@@ -136,7 +154,7 @@ def simulation_trace_events(trace: TraceRecorder, pid: int = 0,
             "args": dict(args, seconds=round(span.duration, 6)),
         })
     for label, time, track, args in trace.marks:
-        events.append({
+        event = {
             "name": label,
             "ph": "i",
             "s": "t",
@@ -144,7 +162,9 @@ def simulation_trace_events(trace: TraceRecorder, pid: int = 0,
             "tid": _tid(track),
             "ts": time * _MICRO,
             "args": dict(args),
-        })
+        }
+        event.update(_placement_style(label, event["args"]))
+        events.append(event)
     return events
 
 

@@ -20,18 +20,40 @@ from repro.serverless.instance import (
     InstanceConfig,
 )
 from repro.serverless.metrics import SimulationMetrics
+from repro.serverless.placement import (
+    DEFAULT_TIERS,
+    AffinityPlacement,
+    FetchResolution,
+    FlatPlacement,
+    LocalityPlacement,
+    NodeCache,
+    PlacementPolicy,
+    TierSpec,
+    make_policy,
+    policy_names,
+)
 from repro.serverless.pool import PoolSimulatorBase
 from repro.serverless.simulator import ClusterSimulator, SimulationConfig
 from repro.serverless.workload import Request, ShareGPTWorkload
 
 __all__ = [
+    "AffinityPlacement",
     "ClusterSimulator",
     "ColdStartProfile",
+    "DEFAULT_TIERS",
+    "FetchResolution",
+    "FlatPlacement",
+    "LocalityPlacement",
     "ModelDeployment",
     "MultiModelCluster",
+    "NodeCache",
+    "PlacementPolicy",
     "PoolSimulatorBase",
     "TaggedRequest",
+    "TierSpec",
     "tag_workloads",
+    "make_policy",
+    "policy_names",
     "Instance",
     "InstanceConfig",
     "Request",

@@ -21,7 +21,7 @@ can absorb is cancelled at the next stage boundary to free the GPU.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import InvalidValueError, SchedulingError
 from repro.serverless.costs import ServingCostModel
@@ -31,6 +31,7 @@ from repro.serverless.instance import (
     InstanceConfig,
 )
 from repro.serverless.metrics import SimulationMetrics
+from repro.serverless.placement import TierSpec, make_policy
 from repro.serverless.pool import ARRIVAL, PoolSimulatorBase
 from repro.serverless.workload import Request, ShareGPTWorkload
 
@@ -55,6 +56,9 @@ class ModelDeployment:
     #: Fractional serving slowdown under a pipelined restore's background
     #: tail (stage-granular cold starts only).
     background_tail_penalty: float = 0.15
+    #: This model's artifact footprint in tier-capacity units — what its
+    #: residency costs in a node's cache hierarchy.
+    artifact_size: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -80,7 +84,8 @@ class MultiModelCluster(PoolSimulatorBase):
     """One GPU pool shared by several model deployments."""
 
     def __init__(self, deployments: List[ModelDeployment], num_gpus: int,
-                 keep_alive: float = 20.0):
+                 keep_alive: float = 20.0, placement: object = "locality",
+                 tiers: Optional[Tuple[TierSpec, ...]] = None):
         if num_gpus <= 0:
             raise InvalidValueError("num_gpus must be positive")
         names = [d.name for d in deployments]
@@ -98,6 +103,9 @@ class MultiModelCluster(PoolSimulatorBase):
         self.deployments = {d.name: d for d in deployments}
         self.num_gpus = num_gpus
         self.keep_alive = keep_alive
+        self._placement_spec = placement
+        self._tiers = tiers
+        self.placement_policy = make_policy(placement, num_gpus, tiers)
         self.instances: Dict[str, List[Instance]] = {name: []
                                                      for name in names}
         self.metrics: Dict[str, SimulationMetrics] = {}
@@ -122,13 +130,35 @@ class MultiModelCluster(PoolSimulatorBase):
         """Each instance reports into its deployment's metrics."""
         return self.metrics[instance.model_name]
 
+    def _pool_size(self) -> int:
+        return self.num_gpus
+
     # -- lifecycle ---------------------------------------------------------------
 
     def _launch(self, model: str, now: float, cold: bool = True,
                 hot_spare: bool = False) -> Instance:
-        """Provision one instance of ``model``'s deployment."""
+        """Provision one instance of ``model``'s deployment.
+
+        Cold launches go through the placement layer: the policy picks
+        the node(s) the instance occupies (TP deployments span several;
+        the artifact lives on the first), and the resolved tier rewrites
+        the profile's ``fetch_artifact`` stage before the kernel
+        schedules the cold start.
+        """
         deployment = self.deployments[model]
         profile = deployment.profile if cold else None
+        resolution = None
+        if cold:
+            base_fetch = profile.fetch_duration \
+                if profile is not None else 0.0
+            node_ids, resolution = self._resolve_placement(
+                ("model", model), deployment.artifact_size, base_fetch,
+                needed=deployment.gpus_per_instance)
+            profile = self._tier_resolved_profile(profile, resolution)
+        else:
+            node_ids, _ = self._resolve_placement(
+                None, 0.0, 0.0, needed=deployment.gpus_per_instance,
+                cold=False)
         if not cold:
             latency = 0.0
         elif profile is not None:
@@ -147,12 +177,14 @@ class MultiModelCluster(PoolSimulatorBase):
             profile=profile,
             model_name=model)
         instance.hot_spare = hot_spare
+        instance.node_ids = node_ids
         self.instances[model].append(instance)
         if cold:
             self.metrics[model].cold_starts += 1
             if profile is not None and profile.degraded_rung:
                 self.metrics[model].record_degraded_cold_start(
                     profile.degraded_rung)
+            self._record_placement(instance, resolution)
         self._launch_events(instance)
         return instance
 
@@ -191,14 +223,29 @@ class MultiModelCluster(PoolSimulatorBase):
         redundant" decision, now possible *mid-cold-start* because stages
         are events.
         """
-        for pool in self.instances.values():
-            for instance in pool:
+        idle = [instance for pool in self.instances.values()
+                for instance in pool
                 if (not instance.retired and not instance.has_work
-                        and not instance.stepping
-                        and not instance.hot_spare):
-                    instance.retired = True
-                    instance.retired_at = now
-                    return self._launch(model, now)
+                    and not instance.stepping
+                    and not instance.hot_spare)]
+        if idle:
+            # Which idle instance to retire is a *placement* decision:
+            # evicting the node that holds this model's artifact in a warm
+            # tier forfeits the residency the launch could have reused.
+            # The flat policy (and a pool without one) picks index 0 —
+            # the legacy first-found scan.
+            pick = 0
+            if self.placement_policy is not None:
+                nodes = [inst.node_ids[0] if inst.node_ids else None
+                         for inst in idle]
+                pick = self.placement_policy.choose_victim(
+                    nodes, ("model", model))
+                if not 0 <= pick < len(idle):
+                    pick = 0
+            victim = idle[pick]
+            victim.retired = True
+            victim.retired_at = now
+            return self._launch(model, now)
         preempted = self._preempt_cold_start(model, now)
         if preempted is not None:
             return preempted
@@ -265,6 +312,9 @@ class MultiModelCluster(PoolSimulatorBase):
         self.metrics = {name: SimulationMetrics(horizon=horizon)
                         for name in self.deployments}
         self.instances = {name: [] for name in self.deployments}
+        # Fresh cache state per run: residency must not leak across runs.
+        self.placement_policy = make_policy(self._placement_spec,
+                                            self.num_gpus, self._tiers)
         self._begin_run(horizon)
         for tagged in tagged_requests:
             self.metrics[tagged.model].arrived += 1

@@ -80,6 +80,46 @@ class ColdStartProfile:
         """The cold-start latency the simulator charges before serving."""
         return self.ready_time if self.ready_time > 0 else self.loading_time
 
+    @property
+    def fetch_duration(self) -> float:
+        """The scheduled ``fetch_artifact`` seconds (0.0 when absent).
+
+        This is the *remote baseline*: plans measure the fetch against
+        the flat artifact store, and the placement layer rewrites it per
+        tier via :meth:`with_fetch_duration`.
+        """
+        from repro.engine.loadplan import FETCH_ARTIFACT
+        if self.timeline is None or FETCH_ARTIFACT not in self.timeline:
+            return 0.0
+        return self.timeline.stage(FETCH_ARTIFACT).duration
+
+    def with_fetch_duration(self, duration: float) -> "ColdStartProfile":
+        """This profile with the ``fetch_artifact`` stage retimed.
+
+        The locality placement layer resolves the artifact's storage tier
+        at launch and charges the tier's fetch time instead of the plan's
+        remote baseline; the timeline is re-scheduled so every dependent
+        stage (and therefore readiness, the background tail, and the
+        Chrome trace) moves with it.  Returns ``self`` unchanged when the
+        profile has no ``fetch_artifact`` stage or the duration already
+        matches.
+        """
+        from dataclasses import replace
+
+        from repro.engine.loadplan import FETCH_ARTIFACT, retime_stage
+        base = self.fetch_duration
+        if base == 0.0 or duration == base:
+            return self
+        timeline = retime_stage(self.timeline, FETCH_ARTIFACT, duration)
+        loading = max(0.0, self.loading_time
+                      + (timeline.total - self.timeline.total))
+        ready = self.ready_time
+        if ready > 0:
+            ready = max(0.0, ready
+                        + (timeline.ready - self.timeline.ready))
+        return replace(self, loading_time=loading, ready_time=ready,
+                       timeline=timeline)
+
 
 @dataclass(frozen=True)
 class InstanceConfig:
@@ -142,6 +182,13 @@ class Instance:
         self.stepping = False
         self.retired = False
         self.hot_spare = False
+        # -- placement (set by the pool at launch) ---------------------------
+        #: Cluster node(s) this instance's GPU(s) occupy; () when the
+        #: simulator runs without the placement layer.
+        self.node_ids: Tuple[int, ...] = ()
+        #: Storage tier the cold start's artifact was served from ("" for
+        #: warm launches and flat placement).
+        self.fetch_tier = ""
         self.last_busy_at = self.ready_at
         self.busy_time = 0.0
         self._captured_batches: set = set()

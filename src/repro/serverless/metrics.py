@@ -40,6 +40,19 @@ class SimulationMetrics:
     # (and the extra seconds that contention cost them).
     background_contended_steps: int = 0
     background_contention_seconds: float = 0.0
+    # Locality placement layer (repro.serverless.placement): artifact
+    # fetches resolved against a node's tier hierarchy.  Hits are keyed
+    # by the tier served from; misses fetched from the remote store.
+    tier_hits: Dict[str, int] = field(default_factory=dict)
+    tier_misses: int = 0
+    # Artifacts pushed out of a node's cache hierarchy entirely, keyed by
+    # the tier the spill was recorded against, and promotions one tier
+    # warmer on cache hits, keyed by the tier landed in.
+    tier_evictions: Dict[str, int] = field(default_factory=dict)
+    tier_promotions: Dict[str, int] = field(default_factory=dict)
+    # Seconds of fetch_artifact time the tier-resolved fetches saved
+    # against the plans' remote baselines.
+    fetch_seconds_saved: float = 0.0
     provisioned_gpu_seconds: float = 0.0   # ready time across instances
     busy_gpu_seconds: float = 0.0          # time instances spent serving
 
@@ -69,6 +82,23 @@ class SimulationMetrics:
         self.cancelled_cold_starts += 1
         self.cancelled_at_stage[stage] = \
             self.cancelled_at_stage.get(stage, 0) + 1
+
+    def record_tier_fetch(self, tier: str, hit: bool,
+                          seconds_saved: float = 0.0) -> None:
+        """Account one tier-resolved artifact fetch (placement layer)."""
+        if hit:
+            self.tier_hits[tier] = self.tier_hits.get(tier, 0) + 1
+        else:
+            self.tier_misses += 1
+        self.fetch_seconds_saved += seconds_saved
+
+    def record_tier_eviction(self, tier: str) -> None:
+        """Account one artifact spilled out of a node's cache hierarchy."""
+        self.tier_evictions[tier] = self.tier_evictions.get(tier, 0) + 1
+
+    def record_tier_promotion(self, tier: str) -> None:
+        """Account one artifact promoted into a warmer tier on a hit."""
+        self.tier_promotions[tier] = self.tier_promotions.get(tier, 0) + 1
 
     def record_background_contention(self, seconds: float) -> None:
         """Account one serving step slowed by the background restore tail."""
@@ -142,6 +172,16 @@ class SimulationMetrics:
         self.background_contended_steps += other.background_contended_steps
         self.background_contention_seconds += \
             other.background_contention_seconds
+        for tier, count in other.tier_hits.items():
+            self.tier_hits[tier] = self.tier_hits.get(tier, 0) + count
+        self.tier_misses += other.tier_misses
+        for tier, count in other.tier_evictions.items():
+            self.tier_evictions[tier] = \
+                self.tier_evictions.get(tier, 0) + count
+        for tier, count in other.tier_promotions.items():
+            self.tier_promotions[tier] = \
+                self.tier_promotions.get(tier, 0) + count
+        self.fetch_seconds_saved += other.fetch_seconds_saved
         self.provisioned_gpu_seconds += other.provisioned_gpu_seconds
         self.busy_gpu_seconds += other.busy_gpu_seconds
 
@@ -162,6 +202,16 @@ class SimulationMetrics:
             "background_contention_seconds":
                 self.background_contention_seconds,
         })
+        report["tier_misses"] = float(self.tier_misses)
+        report["fetch_seconds_saved"] = self.fetch_seconds_saved
+        for tier in sorted(self.tier_hits):
+            report[f"tier_hits[{tier}]"] = float(self.tier_hits[tier])
+        for tier in sorted(self.tier_evictions):
+            report[f"tier_evictions[{tier}]"] = \
+                float(self.tier_evictions[tier])
+        for tier in sorted(self.tier_promotions):
+            report[f"tier_promotions[{tier}]"] = \
+                float(self.tier_promotions[tier])
         for name in sorted(self.cold_stage_seconds):
             report[f"cold_stage[{name}]"] = self.cold_stage_seconds[name]
         return report

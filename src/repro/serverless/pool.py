@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 
 from repro.serverless.instance import Instance
 from repro.serverless.metrics import SimulationMetrics
+from repro.serverless.placement import FetchResolution, PlacementPolicy
 from repro.sim import EventLoop
 
 #: Event kinds, in tie-break (dispatch-priority) order.
@@ -56,6 +57,10 @@ class PoolSimulatorBase:
     #: Idle seconds before a non-spare instance retires.
     keep_alive: float = 20.0
 
+    #: Locality layer (repro.serverless.placement); None runs the pool
+    #: without node identity at all (legacy direct-construction paths).
+    placement_policy: Optional[PlacementPolicy] = None
+
     loop: EventLoop
     horizon: float = 0.0
 
@@ -80,6 +85,110 @@ class PoolSimulatorBase:
     def _consider_abort(self, instance: Instance, stage: object,
                         now: float) -> None:
         """Scale-down policy hook, called at every cold-stage boundary."""
+
+    def _pool_size(self) -> int:
+        """Number of cluster nodes (GPUs) behind this pool."""
+        return 0
+
+    # -- artifact placement ---------------------------------------------------
+
+    def _free_nodes(self) -> List[int]:
+        """Nodes not occupied by any live instance, ascending."""
+        occupied = {node for inst in self._live_instances()
+                    for node in inst.node_ids}
+        return [node for node in range(self._pool_size())
+                if node not in occupied]
+
+    def _resolve_placement(self, key: Optional[Tuple], size: float,
+                           base_fetch: float, needed: int = 1,
+                           cold: bool = True
+                           ) -> Tuple[Tuple[int, ...],
+                                      Optional[FetchResolution]]:
+        """Pick the node(s) for one launch and price its artifact fetch.
+
+        Returns ``(node_ids, resolution)``: the nodes the instance will
+        occupy (empty when the pool runs without the placement layer)
+        and the policy's tier-resolved fetch outcome (None under the
+        flat policy and for warm launches — the caller then charges the
+        plan's own fetch duration unchanged).
+        """
+        policy = self.placement_policy
+        if policy is None or self._pool_size() <= 0 or needed <= 0:
+            return (), None
+        free = self._free_nodes()
+        if len(free) < needed:
+            return (), None
+        if cold and key is not None:
+            primary = policy.place(free, key)
+        else:
+            primary = min(free)
+        policy.record_placement(primary)
+        others = [node for node in free if node != primary][:needed - 1]
+        nodes = (primary, *others)
+        resolution = None
+        if cold:
+            resolution = policy.resolve_fetch(primary, key, size,
+                                              base_fetch)
+        return nodes, resolution
+
+    def _tier_resolved_profile(self, profile,
+                               resolution: Optional[FetchResolution],
+                               store_hit: bool = False):
+        """Rewrite a profile's ``fetch_artifact`` stage to its tier cost.
+
+        ``resolution`` prices the fetch from the placement layer's cache
+        hierarchy; ``store_hit`` (the artifact store's in-memory LRU)
+        independently caps it at the DRAM tier's cost — the deserialized
+        bytes are already in host memory, so the flat remote fetch must
+        not be charged again.  Returns the profile unchanged when there
+        is nothing to rewrite (no timeline, no fetch stage, same cost).
+        """
+        if profile is None:
+            return None
+        base = profile.fetch_duration
+        if base <= 0:
+            return profile
+        duration = base if resolution is None else resolution.duration
+        if store_hit:
+            from repro.serverless.placement import (
+                DEFAULT_TIERS,
+                TIER_DRAM,
+                fetch_duration,
+            )
+            tiers = self.placement_policy.tiers \
+                if self.placement_policy is not None else DEFAULT_TIERS
+            if any(tier.name == TIER_DRAM for tier in tiers):
+                duration = min(duration,
+                               fetch_duration(tiers, TIER_DRAM, base))
+        return profile.with_fetch_duration(duration)
+
+    def _record_placement(self, instance: Instance,
+                          resolution: Optional[FetchResolution]) -> None:
+        """Flow one fetch resolution into metrics and the kernel trace."""
+        if resolution is None:
+            return
+        instance.fetch_tier = resolution.tier
+        metrics = self._metrics_for(instance)
+        metrics.record_tier_fetch(resolution.tier, resolution.hit,
+                                  resolution.seconds_saved)
+        now = self.loop.now
+        self.loop.trace.mark(
+            "artifact_fetch", now, track=_track(instance),
+            node=resolution.node_id, tier=resolution.tier,
+            hit=resolution.hit,
+            seconds=round(resolution.duration, 6))
+        if resolution.promoted is not None:
+            metrics.record_tier_promotion(resolution.promoted[1])
+            self.loop.trace.mark(
+                "artifact_promoted", now, track=_track(instance),
+                node=resolution.node_id,
+                from_tier=resolution.promoted[0],
+                to_tier=resolution.promoted[1])
+        for key, tier in resolution.evicted:
+            metrics.record_tier_eviction(tier)
+            self.loop.trace.mark(
+                "artifact_evicted", now, track=_track(instance),
+                node=resolution.node_id, artifact=list(key), tier=tier)
 
     # -- loop lifecycle -------------------------------------------------------
 

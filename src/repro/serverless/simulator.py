@@ -31,6 +31,7 @@ from repro.serverless.instance import (
     InstanceConfig,
 )
 from repro.serverless.metrics import SimulationMetrics
+from repro.serverless.placement import TierSpec, make_policy
 from repro.serverless.pool import ARRIVAL, PoolSimulatorBase
 from repro.serverless.workload import Request
 
@@ -62,6 +63,18 @@ class SimulationConfig:
     #: surfaced as store_cache_hits/misses in the metrics.
     artifact_store: Optional[object] = None
     artifact_key: Optional[Tuple[str, str]] = None
+    #: Artifact placement across the cluster's nodes: a registered policy
+    #: name ("flat", "locality", "affinity"), a PlacementPolicy factory,
+    #: or an instance.  ``"flat"`` reproduces the pre-placement simulator
+    #: bit for bit; the default locality policy routes each cold start to
+    #: the node holding the artifact in the warmest tier and rewrites the
+    #: plan's ``fetch_artifact`` stage to that tier's fetch time.
+    placement: object = "locality"
+    #: Per-node tier ladder (warmest first, remote backstop last); None
+    #: uses :data:`repro.serverless.placement.DEFAULT_TIERS`.
+    tiers: Optional[Tuple[TierSpec, ...]] = None
+    #: Artifact footprint in tier-capacity units.
+    artifact_size: float = 1.0
 
     def __post_init__(self) -> None:
         if self.num_gpus <= 0:
@@ -95,6 +108,8 @@ class ClusterSimulator(PoolSimulatorBase):
         self.keep_alive = config.keep_alive
         self.instances: List[Instance] = []
         self.metrics = SimulationMetrics()
+        self.placement_policy = make_policy(config.placement,
+                                            config.num_gpus, config.tiers)
         self._begin_run(horizon=0.0)
 
     # -- pool hooks ----------------------------------------------------------
@@ -111,12 +126,50 @@ class ClusterSimulator(PoolSimulatorBase):
         """Every non-retired instance, ready or still cold-starting."""
         return [inst for inst in self.instances if not inst.retired]
 
+    def _pool_size(self) -> int:
+        return self.config.num_gpus
+
+    def _placement_key(self) -> Tuple[str, str]:
+        """The artifact identity placement caches are keyed by."""
+        if self.config.artifact_key is not None:
+            return self.config.artifact_key
+        return ("cluster", self.costs.config.name)
+
     # -- instance management --------------------------------------------------
 
     def _launch_instance(self, now: float, cold: bool = True,
                          hot_spare: bool = False) -> Instance:
-        """Provision one instance; cold launches execute the LoadPlan."""
+        """Provision one instance; cold launches execute the LoadPlan.
+
+        Cold launches resolve the artifact's placement first: the policy
+        picks the node, the node's cache prices the ``fetch_artifact``
+        stage (tier-resolved), and the profile's timeline is rewritten
+        before the kernel schedules its stage events — so admission,
+        background tails, and traces all reflect locality.  A hit on the
+        artifact store's in-memory LRU likewise caps the fetch at the
+        DRAM tier's cost: the bytes are already deserialized in host
+        memory, so charging the flat remote fetch would double-bill.
+        """
         profile = self.config.profile if cold else None
+        resolution = None
+        node_ids: Tuple[int, ...] = ()
+        store_hit = False
+        if cold:
+            store = self.config.artifact_store
+            if store is not None and self.config.artifact_key is not None:
+                hits_before = store.cache_hits
+                store.get(*self.config.artifact_key)
+                store_hit = store.cache_hits > hits_before
+            base_fetch = profile.fetch_duration \
+                if profile is not None else 0.0
+            node_ids, resolution = self._resolve_placement(
+                self._placement_key(), self.config.artifact_size,
+                base_fetch)
+            profile = self._tier_resolved_profile(profile, resolution,
+                                                  store_hit=store_hit)
+        else:
+            node_ids, _ = self._resolve_placement(None, 0.0, 0.0,
+                                                  cold=False)
         if not cold:
             latency = 0.0
         elif profile is not None:
@@ -135,18 +188,17 @@ class ClusterSimulator(PoolSimulatorBase):
             profile=profile,
         )
         instance.hot_spare = hot_spare
+        instance.node_ids = node_ids
         self.instances.append(instance)
         if cold:
             self.metrics.cold_starts += 1
             if profile is not None and profile.degraded_rung:
                 self.metrics.record_degraded_cold_start(
                     profile.degraded_rung)
-            store = self.config.artifact_store
-            if store is not None and self.config.artifact_key is not None:
-                hits_before = store.cache_hits
-                store.get(*self.config.artifact_key)
-                self.metrics.record_store_cache(
-                    hit=store.cache_hits > hits_before)
+            if self.config.artifact_store is not None \
+                    and self.config.artifact_key is not None:
+                self.metrics.record_store_cache(hit=store_hit)
+            self._record_placement(instance, resolution)
         self._launch_events(instance)
         return instance
 
@@ -216,6 +268,11 @@ class ClusterSimulator(PoolSimulatorBase):
         self.metrics = SimulationMetrics(horizon=horizon)
         self.metrics.arrived = len(requests)
         self.instances = []
+        # Fresh cache state per run: placement must not leak residency
+        # across runs, or repeated runs would diverge.
+        self.placement_policy = make_policy(self.config.placement,
+                                            self.config.num_gpus,
+                                            self.config.tiers)
         self._begin_run(horizon)
         for _ in range(self.config.initial_instances):
             self._launch_instance(0.0, cold=False)

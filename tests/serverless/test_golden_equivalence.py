@@ -115,3 +115,52 @@ class TestMultiModelGoldens:
                            f"{name}/{model}")
         assert_matches(golden["multi"][name]["__aggregate__"],
                        cluster.aggregate(), f"{name}/aggregate")
+
+
+class TestFlatPlacementGoldens:
+    """``placement="flat"`` is the pre-placement simulator, bit for bit.
+
+    The placement layer added node identity, per-node caches, and
+    fetch-stage rewriting; the flat policy must disable all of it.  Every
+    golden snapshot — recorded long before the layer existed — has to
+    reproduce exactly under ``placement="flat"``, and the run must record
+    zero placement traffic.
+    """
+
+    @pytest.mark.parametrize("name", sorted(SINGLE_SCENARIOS))
+    def test_single_model_flat_matches_goldens(self, golden, name):
+        scenario = SINGLE_SCENARIOS[name]
+        workload = ShareGPTWorkload(rps=scenario["rps"],
+                                    duration=scenario["duration"],
+                                    seed=scenario["seed"])
+        simulator = ClusterSimulator(
+            ServingCostModel(scenario["model"]),
+            SimulationConfig(placement="flat", **scenario["config"]))
+        metrics = simulator.run(workload.generate(),
+                                horizon=scenario["duration"])
+        assert_matches(golden["single"][name], metrics, name)
+        assert_no_placement_traffic(metrics, name)
+
+    @pytest.mark.parametrize("name", sorted(MULTI_SCENARIOS))
+    def test_multi_model_flat_matches_goldens(self, golden, name):
+        cluster = MultiModelCluster(_deployments(), num_gpus=4,
+                                    placement="flat")
+        per_model = cluster.run(
+            tag_workloads(_multi_workloads(MULTI_SCENARIOS[name])),
+            horizon=60.0)
+        for model in ("a", "b"):
+            assert_matches(golden["multi"][name][model], per_model[model],
+                           f"{name}/{model}")
+        aggregate = cluster.aggregate()
+        assert_matches(golden["multi"][name]["__aggregate__"],
+                       aggregate, f"{name}/aggregate")
+        assert_no_placement_traffic(aggregate, name)
+
+
+def assert_no_placement_traffic(metrics, context):
+    """Flat runs must leave every placement counter untouched."""
+    assert metrics.tier_hits == {}, context
+    assert metrics.tier_misses == 0, context
+    assert metrics.tier_evictions == {}, context
+    assert metrics.tier_promotions == {}, context
+    assert metrics.fetch_seconds_saved == 0.0, context

@@ -120,3 +120,72 @@ class TestStageColdStartCounters:
         assert left.background_contended_steps == 1
         assert left.background_contention_seconds == pytest.approx(0.25)
         assert left.degraded_rungs == {"partial": 1}
+
+
+class TestMergeEdgeCases:
+    def test_merge_of_two_empty_metrics_is_empty(self):
+        left = SimulationMetrics(horizon=10.0)
+        left.merge(SimulationMetrics(horizon=10.0))
+        assert left.summary() == SimulationMetrics(horizon=10.0).summary()
+        assert left.ttfts == [] and left.latencies == []
+        assert left.tier_hits == {} and left.tier_misses == 0
+
+    def test_merge_empty_into_populated_changes_nothing(self):
+        left = SimulationMetrics(horizon=10.0)
+        left.record_ttft(0.5)
+        left.record_cold_stage("s1", 1.0)
+        left.record_tier_fetch("dram", hit=True, seconds_saved=1.9)
+        before = left.summary()
+        left.merge(SimulationMetrics(horizon=10.0))
+        assert left.summary() == before
+
+    def test_merge_disjoint_cold_stage_keys_unions_them(self):
+        left = SimulationMetrics(horizon=10.0)
+        right = SimulationMetrics(horizon=10.0)
+        left.record_cold_stage("fetch_artifact", 0.4)
+        right.record_cold_stage("replay_alloc", 0.3)
+        right.record_cold_stage("restore_graph[1]", 0.2)
+        left.merge(right)
+        assert left.cold_stage_seconds == pytest.approx(
+            {"fetch_artifact": 0.4, "replay_alloc": 0.3,
+             "restore_graph[1]": 0.2})
+        assert left.cold_stage_counts == {"fetch_artifact": 1,
+                                          "replay_alloc": 1,
+                                          "restore_graph[1]": 1}
+
+    def test_merge_folds_tier_counters(self):
+        left = SimulationMetrics(horizon=10.0)
+        right = SimulationMetrics(horizon=10.0)
+        left.record_tier_fetch("dram", hit=True, seconds_saved=1.9)
+        left.record_tier_fetch("remote", hit=False)
+        right.record_tier_fetch("dram", hit=True, seconds_saved=1.9)
+        right.record_tier_fetch("gpu", hit=True, seconds_saved=2.0)
+        right.record_tier_fetch("remote", hit=False)
+        left.record_tier_eviction("ssd")
+        right.record_tier_eviction("ssd")
+        right.record_tier_eviction("remote")
+        right.record_tier_promotion("gpu")
+        left.merge(right)
+        assert left.tier_hits == {"dram": 2, "gpu": 1}
+        assert left.tier_misses == 2
+        assert left.tier_evictions == {"ssd": 2, "remote": 1}
+        assert left.tier_promotions == {"gpu": 1}
+        assert left.fetch_seconds_saved == pytest.approx(5.8)
+        summary = left.summary()
+        assert summary["tier_hits[dram]"] == 2.0
+        assert summary["tier_hits[gpu]"] == 1.0
+        assert summary["tier_misses"] == 2.0
+        assert summary["tier_evictions[ssd]"] == 2.0
+        assert summary["tier_promotions[gpu]"] == 1.0
+        assert summary["fetch_seconds_saved"] == pytest.approx(5.8)
+
+    def test_merge_tier_counters_into_empty_aggregate(self):
+        aggregate = SimulationMetrics(horizon=5.0)
+        part = SimulationMetrics(horizon=5.0)
+        part.record_tier_fetch("dram", hit=True, seconds_saved=0.7)
+        aggregate.merge(part)
+        assert aggregate.tier_hits == {"dram": 1}
+        assert aggregate.fetch_seconds_saved == pytest.approx(0.7)
+        # The source's dicts must not be aliased into the aggregate.
+        part.record_tier_fetch("dram", hit=True)
+        assert aggregate.tier_hits == {"dram": 1}

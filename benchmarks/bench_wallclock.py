@@ -58,6 +58,33 @@ def _restore_p50(model: str, open_artifact: Callable[[], object],
     return _p50(run, repeats)
 
 
+def _chunk_store_p50s(artifact, workdir: pathlib.Path,
+                      repeats: int) -> Dict[str, float]:
+    """p50 wall-clock of chunk-store gets: serial vs parallel decompress.
+
+    ``ArtifactStore.get`` reassembles the artifact from its manifest's
+    content-addressed chunks; with ``parallel_workers`` a thread pool
+    decompresses independent chunks concurrently.  Each repeat uses a
+    cache-disabled store so every get pays the full decompress.
+    """
+    from repro.core.store import ArtifactStore
+
+    root = workdir / "chunk-store"
+    seed_store = ArtifactStore(root)
+    seed_store.put(artifact)
+    key = (artifact.gpu_name, artifact.model_name)
+
+    def get_with(workers: int) -> Callable[[], object]:
+        store = ArtifactStore(root, cache_size=0,
+                              parallel_workers=workers)
+        return lambda: store.get(*key)
+
+    return {
+        "chunk_get_serial": _p50(get_with(0), repeats),
+        "chunk_get_parallel": _p50(get_with(4), repeats),
+    }
+
+
 def _simulated_critical_paths(model: str, artifact,
                               lazy_path) -> Dict[str, Dict[str, float]]:
     """Simulated loading/ready/total seconds for every strategy."""
@@ -101,6 +128,9 @@ def run_bench(model: str, repeats: int, output: pathlib.Path,
     fast_restore_p50 = _restore_p50(
         model, lambda: LazyArtifact(npz_path), fast=True, repeats=repeats)
 
+    print("timing chunk-store gets (serial vs parallel)...", flush=True)
+    chunk_p50s = _chunk_store_p50s(artifact, workdir, repeats)
+
     print("deriving simulated critical paths per strategy...", flush=True)
     simulated = _simulated_critical_paths(model, artifact, npz_path)
 
@@ -120,6 +150,9 @@ def run_bench(model: str, repeats: int, output: pathlib.Path,
             # restorer vs lazy npz open + vectorized restorer.
             "load_restore_object_path": object_restore_p50,
             "load_restore_fast_path": fast_restore_p50,
+            # Content-addressed chunk store: full get (manifest +
+            # decompress + reassemble), one thread vs a 4-worker pool.
+            **chunk_p50s,
         },
         "speedup": {
             "load_restore": object_restore_p50 / max(fast_restore_p50, 1e-9),

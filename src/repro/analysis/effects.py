@@ -60,7 +60,17 @@ def graph_resource(batch_size: int) -> str:
     return f"graph[{batch_size}]"
 
 
+def chunk_resource(index: int) -> str:
+    """The per-chunk fetched-bytes resource (chunk-streamed fetch stages).
+
+    ``index`` is the chunk's position in its manifest's canonical order
+    (see :class:`repro.core.chunks.ChunkManifest`).
+    """
+    return f"chunk[{index}]"
+
+
 _GRAPH_ACTION = re.compile(r"^restore_graph\[(\d+)\]$")
+_CHUNK_ACTION = re.compile(r"^fetch_chunk\[(\d+)\]$")
 
 
 # ---------------------------------------------------------------------------
@@ -153,13 +163,16 @@ def is_known_action(action_name: str,
     """Whether ``action_name`` resolves against the action registry.
 
     ``known`` overrides the default universe (e.g. a live restorer's
-    ``stage_actions`` keys); the ``restore_graph[<batch>]`` pattern is
-    always accepted, mirroring ``VectorizedRestorer.stage_action_names``.
+    ``stage_actions`` keys); the ``restore_graph[<batch>]`` and
+    ``fetch_chunk[<index>]`` patterns are always accepted, mirroring
+    ``VectorizedRestorer.stage_action_names``.
     """
     universe = KNOWN_ACTIONS if known is None else frozenset(known)
     if action_name in universe:
         return True
-    return _GRAPH_ACTION.match(action_name) is not None
+    if _GRAPH_ACTION.match(action_name) is not None:
+        return True
+    return _CHUNK_ACTION.match(action_name) is not None
 
 
 def default_effects(action_name: str) -> Optional[Effects]:
@@ -174,6 +187,12 @@ def default_effects(action_name: str) -> Optional[Effects]:
         # exactly its own graph.
         return effects(reads=(ARTIFACT, ALLOC_MAP, PARAMS, DRIVER_SYMBOLS),
                        writes=(graph_resource(int(match.group(1))),))
+    match = _CHUNK_ACTION.match(action_name)
+    if match is not None:
+        # A chunk-streamed fetch stage: lands exactly its own chunk's
+        # bytes; consumers declare reads on the chunk resources they
+        # decompress.
+        return effects(writes=(chunk_resource(int(match.group(1))),))
     return None
 
 

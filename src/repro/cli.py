@@ -164,6 +164,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH", default=None,
         help="write the whole run (arrivals, per-stage cold starts, "
              "serving steps, retirements) as one Chrome trace JSON")
+
+    store_cmd = sub.add_parser(
+        "store", help="inspect a content-addressed artifact store")
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats", help="per-model chunk counts and the cross-model "
+                      "dedup ratio of one store directory")
+    store_stats.add_argument("--dir", required=True,
+                             help="artifact-store root directory")
+    store_stats.add_argument("--format", choices=("text", "json"),
+                             default="text", help="report format")
     return parser
 
 
@@ -390,6 +401,32 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    """Dispatch ``repro store <subcommand>`` (currently only ``stats``)."""
+    from repro.core.store import ArtifactStore
+
+    store = ArtifactStore(args.dir)
+    stats = store.stats()
+    if args.format == "json":
+        import json
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for key, entry in stats["models"].items():
+        gpu_name, _, model_name = key.partition("::")
+        rows.append([gpu_name, model_name, entry["chunks"],
+                     entry["bytes"], entry["foreground_bytes"]])
+    print(format_table(
+        f"Artifact store: {args.dir}",
+        ["gpu", "model", "chunks", "bytes", "foreground bytes"], rows))
+    print(f"chunks: {stats['total_chunks']} total, "
+          f"{stats['unique_chunks']} unique")
+    print(f"bytes: {stats['total_bytes']} total, "
+          f"{stats['unique_bytes']} unique")
+    print(f"dedup ratio: {stats['dedup_ratio']:.3f}x")
+    return 0
+
+
 _COMMANDS = {
     "models": _cmd_models,
     "save-tensor": _cmd_save_tensor,
@@ -400,6 +437,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "restore": _cmd_restore,
     "simulate": _cmd_simulate,
+    "store": _cmd_store,
 }
 
 

@@ -45,8 +45,15 @@ _EVENT_CODES = {"alloc": 0, "free": 1, "empty_cache": 2}
 _EVENT_NAMES = {0: "alloc", 1: "free", 2: "empty_cache"}
 
 
-def save_binary(artifact: MaterializedModel, path) -> int:
-    """Write ``artifact`` as .npz; returns the byte size on disk."""
+def artifact_arrays(
+        artifact: MaterializedModel) -> Tuple[Dict[str, np.ndarray], dict]:
+    """Flatten ``artifact`` into its on-disk arrays and metadata dict.
+
+    Shared by :func:`save_binary` (which packs everything into one .npz)
+    and :mod:`repro.core.chunks` (which splits the same arrays into
+    content-addressed chunks).  The metadata dict is the exact object
+    :func:`save_binary` embeds as the ``metadata`` member.
+    """
     kernel_names = sorted({node.kernel_name
                            for graph in artifact.graphs.values()
                            for node in graph.nodes})
@@ -133,6 +140,12 @@ def save_binary(artifact: MaterializedModel, path) -> int:
                           for t in artifact.trigger_plans],
         "stats": artifact.stats,
     }
+    return arrays, metadata
+
+
+def save_binary(artifact: MaterializedModel, path) -> int:
+    """Write ``artifact`` as .npz; returns the byte size on disk."""
+    arrays, metadata = artifact_arrays(artifact)
     arrays["metadata"] = np.array([json.dumps(metadata)])
     with open(path, "wb") as handle:
         np.savez_compressed(handle, **arrays)
@@ -364,21 +377,28 @@ class LazyArtifact:
     to :func:`load_binary`) for consumers that need per-event hooks.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, data=None, meta=None):
         self.path = path
-        try:
-            self._data = np.load(path, allow_pickle=False)
-        except FileNotFoundError as exc:
-            raise ArtifactError(f"no binary artifact at {path}") from exc
-        except Exception as exc:
+        if data is None:
+            try:
+                data = np.load(path, allow_pickle=False)
+            except FileNotFoundError as exc:
+                raise ArtifactError(f"no binary artifact at {path}") from exc
+            except Exception as exc:
+                raise ArtifactError(
+                    f"unreadable binary artifact {path}: {exc}") from exc
+            try:
+                meta = json.loads(str(data["metadata"][0]))
+            except KeyError as exc:
+                raise ArtifactError(
+                    f"binary artifact {path} has no metadata member — not a "
+                    f"Medusa artifact") from exc
+        elif meta is None:
             raise ArtifactError(
-                f"unreadable binary artifact {path}: {exc}") from exc
-        try:
-            self._meta = json.loads(str(self._data["metadata"][0]))
-        except KeyError as exc:
-            raise ArtifactError(
-                f"binary artifact {path} has no metadata member — not a "
-                f"Medusa artifact") from exc
+                "LazyArtifact needs parsed metadata when opened from an "
+                "external member source")
+        self._data = data
+        self._meta = meta
         version = self._meta.get("format_version")
         if version != ARTIFACT_FORMAT_VERSION:
             raise ArtifactError(
@@ -568,6 +588,18 @@ class LazyArtifact:
             )
             self._graph_tables[batch] = table
         return table
+
+    def first_layer_table(self, batch: int) -> GraphTable:
+        """The graph-table prefix :mod:`repro.core.fastpath` warms up with.
+
+        The restorer only launches ``min(first_layer_nodes, num_nodes)``
+        nodes per batch during warmup; a monolithic npz cannot load less
+        than the whole graph, so this base implementation returns
+        :meth:`graph_table`.  Chunk-backed artifacts override it to
+        decompress only the head chunk (see
+        :class:`repro.core.chunks.ChunkedLazyArtifact`).
+        """
+        return self.graph_table(batch)
 
     # -- eager fallback -----------------------------------------------------
 

@@ -38,7 +38,7 @@ from repro.core.binfmt import GraphTable, LazyArtifact
 from repro.engine.capture_runner import CaptureArtifacts
 from repro.engine.kvcache import BlockManager, KVCacheRegion
 from repro.engine.loadplan import FETCH_ARTIFACT, REPLAY_ALLOC, \
-    restore_graph_stage
+    fetch_chunk_stage, restore_graph_stage
 from repro.errors import (
     ModuleNotLoadedError,
     RestorationError,
@@ -221,8 +221,12 @@ class VectorizedRestorer:
         restore binds anything.
         """
         from repro.engine.loadplan import restore_graph_stage
+        manifest = getattr(self.artifact, "chunk_manifest", None)
+        chunk_names = () if manifest is None else tuple(
+            fetch_chunk_stage(position)
+            for position in range(len(manifest.chunks)))
         return ("fetch_artifact", "restore_kv", "replay_alloc",
-                "restore_warmup") + tuple(
+                "restore_warmup") + chunk_names + tuple(
                     restore_graph_stage(batch)
                     for batch in sorted(self.artifact.graphs, reverse=True))
 
@@ -298,12 +302,33 @@ class VectorizedRestorer:
             REPLAY_ALLOC: replay_alloc,
             "restore_warmup": restore_warmup,
         }
+        manifest = getattr(artifact, "chunk_manifest", None)
+        if manifest is not None:
+            # Chunk-backed artifact: one fetch action per manifest chunk.
+            # The simulated cost splits ``artifact_load_base`` by chunk
+            # size (the whole stream still sums to one monolithic fetch);
+            # the real I/O decompresses exactly this chunk into the
+            # reader's cache.
+            total_bytes = float(manifest.total_bytes) or 1.0
+            for position, ref in enumerate(manifest.chunks):
+                actions[fetch_chunk_stage(position)] = \
+                    self._make_fetch_chunk(engine, ref, total_bytes)
         batches = sorted(artifact.batches, reverse=True)
         for position, batch_size in enumerate(batches):
             actions[restore_graph_stage(batch_size)] = \
                 self._make_restore_graph(engine, batch_size,
                                          first=position == 0)
         return actions
+
+    def _make_fetch_chunk(self, engine, ref, total_bytes: float):
+        def fetch_chunk() -> float:
+            clock = engine.process.clock
+            start = clock.now
+            clock.advance(engine.cost_model.artifact_load_base
+                          * (ref.nbytes / total_bytes))
+            self.artifact.reader.chunk(ref.name)
+            return clock.now - start
+        return fetch_chunk
 
     def _make_restore_graph(self, engine, batch_size: int, first: bool):
         def restore_graph() -> float:
@@ -499,7 +524,10 @@ class VectorizedRestorer:
     def _first_layer_plan(self, engine, batch_size: int):
         """The prologue + first-layer launches as (spec, params, dims)."""
         artifact = self.artifact
-        table = artifact.graph_table(batch_size)
+        # first_layer_table is the whole graph on a monolithic npz, but a
+        # chunk-backed artifact serves just the head chunk — the warmup
+        # never forces a tail decompress.
+        table = artifact.first_layer_table(batch_size)
         count = min(artifact.first_layer_nodes, table.num_nodes)
         stop = int(table.param_offsets[count])
         resolved = self._resolved_values(table, stop=stop)

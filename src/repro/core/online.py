@@ -39,7 +39,11 @@ from repro.engine.capture_runner import (
 )
 from repro.engine.engine import ColdStartReport, LLMEngine
 from repro.engine.kvcache import BlockManager, KVCacheConfig, KVCacheRegion
-from repro.engine.strategies import Strategy, pipelined_medusa_plan
+from repro.engine.strategies import (
+    Strategy,
+    chunked_medusa_plan,
+    pipelined_medusa_plan,
+)
 from repro.errors import (
     CudaError,
     MaterializationError,
@@ -743,7 +747,15 @@ def prepare_medusa_cold_start(config, artifact, seed: int = 1,
         fast = False
     if lazy and not fast:
         artifact = artifact.materialize()
-    plan = pipelined_medusa_plan(artifact.batches) if fast else None
+    plan = None
+    if fast:
+        manifest = getattr(artifact, "chunk_manifest", None)
+        if manifest is not None:
+            # Chunk-backed lazy artifact: stream fetches per chunk, with
+            # only the first graph's chunks in the foreground.
+            plan = chunked_medusa_plan(manifest)
+        else:
+            plan = pipelined_medusa_plan(artifact.batches)
     engine = LLMEngine(config, Strategy.MEDUSA, seed=seed, mode=mode,
                        cost_model=cost_model, kv_config=kv_config,
                        checkpoints=checkpoints, plan=plan, injector=injector)

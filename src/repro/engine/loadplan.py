@@ -24,6 +24,7 @@ locality loading, Tangram-style memory reuse) become plan definitions in
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -49,6 +50,22 @@ REPLAY_ALLOC = "replay_alloc"
 def restore_graph_stage(batch_size: int) -> str:
     """The per-graph restore stage name for one captured batch size."""
     return f"restore_graph[{batch_size}]"
+
+
+def fetch_chunk_stage(index: int) -> str:
+    """The per-chunk fetch stage name for one manifest chunk index.
+
+    Chunk-streamed plans replace the single ``fetch_artifact`` DISK stage
+    with one of these per chunk; foreground instances cover only the
+    chunks ``restore_graph[0]`` needs (see
+    ``repro.engine.strategies.chunked_medusa_plan``).
+    """
+    return f"fetch_chunk[{index}]"
+
+
+#: Matches chunk-streamed fetch stage names (both for effect defaults and
+#: for the serving layer's foreground-fetch accounting).
+FETCH_CHUNK_PATTERN = re.compile(r"^fetch_chunk\[(\d+)\]$")
 
 #: Numerical slack for "these instants coincide" on the critical-path walk.
 _EPS = 1e-9
@@ -383,7 +400,7 @@ def retime_stage(timeline: Timeline, name: str,
     if abs(duration - old.duration) <= _EPS:
         return timeline
     if timeline.deps:
-        return _reschedule(timeline, name, duration)
+        return _reschedule(timeline, {name: duration})
     delta = duration - old.duration
     stages: List[ScheduledStage] = []
     for stage in timeline.stages:
@@ -402,11 +419,42 @@ def retime_stage(timeline: Timeline, name: str,
     return Timeline(timeline.strategy, stages, plan=timeline.plan)
 
 
-def _reschedule(timeline: Timeline, name: str,
-                duration: float) -> Timeline:
-    """List-schedule a timeline afresh with one stage duration replaced."""
+def retime_stages(timeline: Timeline,
+                  durations: Mapping[str, float]) -> Timeline:
+    """A copy of ``timeline`` with several stages' durations replaced.
+
+    The chunk-streamed fetch path needs this: a tier-resolved fetch
+    rewrites *every* ``fetch_chunk[i]`` stage at once, and re-list-
+    scheduling once is both cheaper and more faithful than chaining
+    single-stage retimes (intermediate schedules never exist on the
+    simulated machine).  Semantics per stage match :func:`retime_stage`,
+    including the rigid-shift fallback for timelines without dependency
+    metadata.
+    """
+    overrides: Dict[str, float] = {}
+    for name, duration in durations.items():
+        if duration < 0:
+            raise EngineError(
+                f"stage {name!r} cannot be retimed to negative "
+                f"duration {duration}")
+        if abs(duration - timeline.stage(name).duration) > _EPS:
+            overrides[name] = duration
+    if not overrides:
+        return timeline
+    if timeline.deps:
+        return _reschedule(timeline, overrides)
+    result = timeline
+    for stage in timeline.stages:    # rigid shifts, in schedule order
+        if stage.name in overrides:
+            result = retime_stage(result, stage.name, overrides[stage.name])
+    return result
+
+
+def _reschedule(timeline: Timeline,
+                overrides: Mapping[str, float]) -> Timeline:
+    """List-schedule a timeline afresh with stage durations replaced."""
     durations = {stage.name: stage.duration for stage in timeline.stages}
-    durations[name] = duration
+    durations.update(overrides)
     finished: Dict[str, float] = {}
     lane_free: Dict[str, float] = {}
     lane_prev: Dict[str, str] = {}

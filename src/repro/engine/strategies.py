@@ -38,6 +38,7 @@ from repro.analysis.effects import (
     STRUCTURE_STATE,
     TOKENIZER_STATE,
     WEIGHTS_STATE,
+    chunk_resource,
     graph_resource,
 )
 from repro.engine.lanes import CPU, DISK, GPU_COMPUTE, PCIE, Contention
@@ -53,6 +54,7 @@ from repro.engine.loadplan import (
     WEIGHTS,
     LoadPlan,
     PlanStage,
+    fetch_chunk_stage,
     restore_graph_stage,
 )
 from repro.errors import EngineError
@@ -297,6 +299,123 @@ def pipelined_medusa_plan(batch_sizes: Sequence[int],
         description="Pipelined materialized restore: lazy artifact fetch, "
                     "replayed allocations, first graph foreground, the "
                     "rest behind the ready instant.")
+
+
+def chunked_medusa_plan(manifest, name: str = "medusa-chunked") -> LoadPlan:
+    """The chunk-streamed Medusa plan for one artifact's manifest.
+
+    Replaces :data:`FETCH_ARTIFACT` with one ``fetch_chunk[i]`` stage per
+    manifest chunk, pipelined on the DISK lane.  Foreground instances
+    cover exactly what ``restore_graph[0]`` needs — the kernel table,
+    replay shards, permanent dumps, every graph head, and the largest
+    batch's tail (``manifest.foreground_chunks()``); the tails of the
+    remaining batches stream as ``background=True`` fetches paired with
+    their background ``restore_graph`` stages.  The restore stages gate on
+    the *latest chunk they read* rather than the end of the stream, so
+    allocation replay overlaps the still-arriving tail bytes — the
+    foreground fetch cost drops from O(artifact) to O(foreground chunks).
+
+    Like :func:`pipelined_medusa_plan` this is built per artifact and
+    passed to ``LLMEngine(plan=...)``, not registered.
+    """
+    # Imported lazily for the same load-order reason as planlint above.
+    from repro.core.chunks import (
+        KIND_DUMPS,
+        KIND_GRAPH_HEAD,
+        KIND_GRAPH_TAIL,
+        KIND_KERNELS,
+        KIND_REPLAY,
+    )
+    batches = sorted(set(manifest.batches), reverse=True)
+    if not batches:
+        raise EngineError("chunked Medusa plan needs at least one "
+                          "captured batch size")
+    index_of = {ref.name: i for i, ref in enumerate(manifest.chunks)}
+    resource = {ref.name: chunk_resource(index_of[ref.name])
+                for ref in manifest.chunks}
+    foreground = manifest.foreground_chunks()
+    replay_reads = tuple(resource[ref.name] for ref in foreground
+                         if ref.kind == KIND_REPLAY)
+    kernel_reads = tuple(resource[ref.name] for ref in foreground
+                         if ref.kind == KIND_KERNELS)
+    dump_reads = tuple(resource[ref.name] for ref in foreground
+                       if ref.kind == KIND_DUMPS)
+    head_of = {ref.batch: ref for ref in manifest.chunks
+               if ref.kind == KIND_GRAPH_HEAD}
+    tail_of = {ref.batch: ref for ref in manifest.chunks
+               if ref.kind == KIND_GRAPH_TAIL}
+
+    stages = [
+        PlanStage(STRUCTURE, CPU, required=True,
+                  writes=(STRUCTURE_STATE,)),
+    ]
+    # The foreground chunk stream: a dep chain on the DISK lane, so the
+    # stages both serialize (one disk) and expose per-chunk completion
+    # instants for the restore stages to gate on.
+    prev_fetch = None
+    fetch_name = {}
+    for ref in foreground:
+        stage_name = fetch_chunk_stage(index_of[ref.name])
+        fetch_name[ref.name] = stage_name
+        stages.append(PlanStage(
+            stage_name, DISK,
+            deps=(prev_fetch,) if prev_fetch else (),
+            writes=(resource[ref.name],)))
+        prev_fetch = stage_name
+    replay_ready = fetch_name[[ref for ref in foreground
+                               if ref.kind == KIND_REPLAY][-1].name]
+    heads_ready = fetch_name[head_of[batches[-1]].name]
+    largest_tail_ready = fetch_name[tail_of[batches[0]].name]
+
+    stages += [
+        PlanStage(WEIGHTS, PCIE, deps=(STRUCTURE,), required=True,
+                  reads=(STRUCTURE_STATE,), writes=(WEIGHTS_STATE,)),
+        PlanStage(TOKENIZER, CPU, deps=(STRUCTURE,), required=True,
+                  writes=(TOKENIZER_STATE,)),
+        # Gates on the last replay shard, not the stream's end: the KV
+        # replay runs while heads and tails are still arriving.
+        PlanStage(KV_INIT, GPU_COMPUTE, deps=(STRUCTURE, replay_ready),
+                  action="restore_kv",
+                  reads=(STRUCTURE_STATE,) + replay_reads,
+                  writes=(KV_STATE, ALLOC_MAP)),
+        PlanStage(REPLAY_ALLOC, CPU, deps=(KV_INIT,),
+                  reads=replay_reads + (ALLOC_MAP,), writes=(ALLOC_MAP,)),
+        PlanStage(MEDUSA_WARMUP, GPU_COMPUTE,
+                  deps=(REPLAY_ALLOC, heads_ready),
+                  action="restore_warmup",
+                  reads=kernel_reads + dump_reads
+                  + tuple(resource[head_of[b].name] for b in batches)
+                  + (KV_STATE, ALLOC_MAP),
+                  writes=(PARAMS, DRIVER_SYMBOLS)),
+        PlanStage(restore_graph_stage(batches[0]), GPU_COMPUTE,
+                  deps=(MEDUSA_WARMUP, WEIGHTS, TOKENIZER,
+                        largest_tail_ready),
+                  reads=(WEIGHTS_STATE, TOKENIZER_STATE, ALLOC_MAP, PARAMS,
+                         resource[head_of[batches[0]].name],
+                         resource[tail_of[batches[0]].name]),
+                  writes=(DRIVER_SYMBOLS, graph_resource(batches[0]))),
+    ]
+    prev_restore = restore_graph_stage(batches[0])
+    for batch in batches[1:]:
+        tail = tail_of[batch]
+        tail_fetch = fetch_chunk_stage(index_of[tail.name])
+        stages.append(PlanStage(
+            tail_fetch, DISK, deps=(prev_fetch,), background=True,
+            writes=(resource[tail.name],)))
+        prev_fetch = tail_fetch
+        stage = restore_graph_stage(batch)
+        stages.append(PlanStage(
+            stage, GPU_COMPUTE, deps=(prev_restore, tail_fetch),
+            background=True,
+            reads=(resource[head_of[batch].name], resource[tail.name],
+                   ALLOC_MAP, PARAMS, DRIVER_SYMBOLS),
+            writes=(graph_resource(batch),)))
+        prev_restore = stage
+    return LoadPlan(
+        name, tuple(stages),
+        description="Chunk-streamed materialized restore: content-"
+                    "addressed chunks fetched as a DISK-lane pipeline, "
+                    "foreground covering only what the first graph needs.")
 
 
 #: Demonstration plan (not tied to a Strategy): the tokenizer is a pure

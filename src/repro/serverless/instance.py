@@ -80,37 +80,53 @@ class ColdStartProfile:
         """The cold-start latency the simulator charges before serving."""
         return self.ready_time if self.ready_time > 0 else self.loading_time
 
+    def _fetch_stages(self) -> List:
+        """Every scheduled fetch stage: ``fetch_artifact`` and any
+        chunk-streamed ``fetch_chunk[i]`` stages (schedule order)."""
+        from repro.engine.loadplan import FETCH_ARTIFACT, FETCH_CHUNK_PATTERN
+        if self.timeline is None:
+            return []
+        return [stage for stage in self.timeline.stages
+                if stage.name == FETCH_ARTIFACT
+                or FETCH_CHUNK_PATTERN.match(stage.name) is not None]
+
     @property
     def fetch_duration(self) -> float:
-        """The scheduled ``fetch_artifact`` seconds (0.0 when absent).
+        """The scheduled *foreground* artifact-fetch seconds (0.0 when
+        absent): the ``fetch_artifact`` stage, or — for chunk-streamed
+        plans — the summed non-background ``fetch_chunk[i]`` stages.
 
         This is the *remote baseline*: plans measure the fetch against
         the flat artifact store, and the placement layer rewrites it per
         tier via :meth:`with_fetch_duration`.
         """
-        from repro.engine.loadplan import FETCH_ARTIFACT
-        if self.timeline is None or FETCH_ARTIFACT not in self.timeline:
-            return 0.0
-        return self.timeline.stage(FETCH_ARTIFACT).duration
+        return sum(stage.duration for stage in self._fetch_stages()
+                   if not stage.background)
 
     def with_fetch_duration(self, duration: float) -> "ColdStartProfile":
-        """This profile with the ``fetch_artifact`` stage retimed.
+        """This profile with its fetch stage(s) retimed.
 
         The locality placement layer resolves the artifact's storage tier
         at launch and charges the tier's fetch time instead of the plan's
         remote baseline; the timeline is re-scheduled so every dependent
         stage (and therefore readiness, the background tail, and the
-        Chrome trace) moves with it.  Returns ``self`` unchanged when the
-        profile has no ``fetch_artifact`` stage or the duration already
-        matches.
+        Chrome trace) moves with it.  Chunk-streamed plans scale every
+        ``fetch_chunk[i]`` stage — background tail chunks included: the
+        whole stream reads from the same tier — by the ratio of
+        ``duration`` to the foreground baseline.  Returns ``self``
+        unchanged when the profile has no fetch stage or the duration
+        already matches.
         """
         from dataclasses import replace
 
-        from repro.engine.loadplan import FETCH_ARTIFACT, retime_stage
+        from repro.engine.loadplan import retime_stages
         base = self.fetch_duration
         if base == 0.0 or duration == base:
             return self
-        timeline = retime_stage(self.timeline, FETCH_ARTIFACT, duration)
+        ratio = duration / base
+        overrides = {stage.name: stage.duration * ratio
+                     for stage in self._fetch_stages()}
+        timeline = retime_stages(self.timeline, overrides)
         loading = max(0.0, self.loading_time
                       + (timeline.total - self.timeline.total))
         ready = self.ready_time

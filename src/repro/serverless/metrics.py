@@ -53,6 +53,14 @@ class SimulationMetrics:
     # Seconds of fetch_artifact time the tier-resolved fetches saved
     # against the plans' remote baselines.
     fetch_seconds_saved: float = 0.0
+    # Chunk-streamed fetches (content-addressed artifact chunks resolved
+    # against per-node chunk residency): chunks already resident (shared
+    # with a prior — possibly sibling-model — cold start), bytes those
+    # hits avoided re-fetching, and bytes actually fetched before the
+    # instance's ready instant.  All stay zero for blob-granular runs.
+    chunk_hits: int = 0
+    bytes_deduped: float = 0.0
+    fetch_bytes_foreground: float = 0.0
     provisioned_gpu_seconds: float = 0.0   # ready time across instances
     busy_gpu_seconds: float = 0.0          # time instances spent serving
 
@@ -99,6 +107,13 @@ class SimulationMetrics:
     def record_tier_promotion(self, tier: str) -> None:
         """Account one artifact promoted into a warmer tier on a hit."""
         self.tier_promotions[tier] = self.tier_promotions.get(tier, 0) + 1
+
+    def record_chunk_fetch(self, hits: int, bytes_deduped: float,
+                           foreground_bytes: float) -> None:
+        """Account one chunk-streamed artifact fetch's aggregate outcome."""
+        self.chunk_hits += hits
+        self.bytes_deduped += bytes_deduped
+        self.fetch_bytes_foreground += foreground_bytes
 
     def record_background_contention(self, seconds: float) -> None:
         """Account one serving step slowed by the background restore tail."""
@@ -182,6 +197,9 @@ class SimulationMetrics:
             self.tier_promotions[tier] = \
                 self.tier_promotions.get(tier, 0) + count
         self.fetch_seconds_saved += other.fetch_seconds_saved
+        self.chunk_hits += other.chunk_hits
+        self.bytes_deduped += other.bytes_deduped
+        self.fetch_bytes_foreground += other.fetch_bytes_foreground
         self.provisioned_gpu_seconds += other.provisioned_gpu_seconds
         self.busy_gpu_seconds += other.busy_gpu_seconds
 
@@ -204,6 +222,13 @@ class SimulationMetrics:
         })
         report["tier_misses"] = float(self.tier_misses)
         report["fetch_seconds_saved"] = self.fetch_seconds_saved
+        # Chunk-fetch counters appear only when a chunk stream ran, so
+        # blob-granular runs keep their golden summaries byte-identical.
+        if self.chunk_hits or self.bytes_deduped \
+                or self.fetch_bytes_foreground:
+            report["chunk_hits"] = float(self.chunk_hits)
+            report["bytes_deduped"] = self.bytes_deduped
+            report["fetch_bytes_foreground"] = self.fetch_bytes_foreground
         for tier in sorted(self.tier_hits):
             report[f"tier_hits[{tier}]"] = float(self.tier_hits[tier])
         for tier in sorted(self.tier_evictions):

@@ -135,6 +135,23 @@ class CacheEvent:
 
 
 @dataclass(frozen=True)
+class ChunkFetchSummary:
+    """Aggregate outcome of resolving one chunk-streamed fetch on a node.
+
+    Produced when a cold start's artifact arrives as a content-addressed
+    chunk stream (:mod:`repro.core.chunks`) instead of one blob: each
+    chunk resolves against the node's chunk-level residency, so a node
+    that hosted a *sibling* model sharing chunks starts partially warm.
+    """
+
+    chunks: int                  # chunks in the manifest stream
+    hits: int                    # chunks already resident on the node
+    bytes_deduped: float         # bytes of resident chunks not re-fetched
+    foreground_bytes: float      # bytes actually fetched before readiness
+    foreground_seconds: float    # tier-resolved foreground fetch seconds
+
+
+@dataclass(frozen=True)
 class FetchResolution:
     """Outcome of resolving one cold start's artifact fetch on a node."""
 
@@ -147,6 +164,9 @@ class FetchResolution:
     evicted: Tuple[Tuple[Tuple, str], ...] = ()
     #: ``(from_tier, to_tier)`` when the fetched artifact moved warmer.
     promoted: Optional[Tuple[str, str]] = None
+    #: Per-chunk accounting when the fetch was chunk-streamed; None for
+    #: blob-granular fetches (and under the flat policy).
+    chunks: Optional[ChunkFetchSummary] = None
 
     @property
     def seconds_saved(self) -> float:
@@ -300,6 +320,11 @@ class PlacementPolicy:
         self.tiers = validate_tiers(tiers)
         self.caches = [NodeCache(node, self.tiers)
                        for node in range(num_nodes)]
+        #: Per-node *chunk*-level residency, created lazily on the first
+        #: chunk-streamed fetch: a separate hierarchy keyed by content
+        #: digest, so chunk bookkeeping never evicts whole-artifact
+        #: entries (blob-granular runs stay bit-identical).
+        self._chunk_caches: List[Optional[NodeCache]] = [None] * num_nodes
         #: Cold starts placed per node — the least-loaded tie-breaker.
         self.placements = [0] * num_nodes
 
@@ -308,6 +333,14 @@ class PlacementPolicy:
     def _least_loaded(self, free_nodes: Sequence[int]) -> int:
         return min(free_nodes, key=lambda node: (self.placements[node],
                                                  node))
+
+    def _chunk_cache(self, node_id: int) -> NodeCache:
+        """The node's chunk-residency hierarchy, created on first use."""
+        cache = self._chunk_caches[node_id]
+        if cache is None:
+            cache = NodeCache(node_id, self.tiers)
+            self._chunk_caches[node_id] = cache
+        return cache
 
     def record_placement(self, node_id: int) -> None:
         self.placements[node_id] += 1
@@ -339,6 +372,20 @@ class PlacementPolicy:
         and records nothing.
         """
         raise NotImplementedError
+
+    def resolve_chunk_fetch(self, node_id: int, digest: str, size: float,
+                            base_duration: float
+                            ) -> Optional[FetchResolution]:
+        """Price one content-addressed chunk's fetch on ``node_id``.
+
+        ``digest`` identifies the chunk *by content*, so two models
+        sharing a chunk hit each other's residency.  ``size`` is the
+        chunk's share of the artifact's tier-capacity footprint and
+        ``base_duration`` its share of the plan's remote fetch time.
+        ``None`` means the policy does not track chunk residency (the
+        flat baseline): the caller keeps the blob-granular resolution.
+        """
+        return None
 
 
 class FlatPlacement(PlacementPolicy):
@@ -427,6 +474,35 @@ class LocalityPlacement(PlacementPolicy):
         if key is None:
             return None
         cache = self.caches[node_id]
+        if cache.tier_of(key) is None:
+            spilled = cache.admit(key, size, self.admit_tier)
+            return FetchResolution(
+                node_id=node_id, tier=cache.remote.name, hit=False,
+                base_duration=base_duration, duration=base_duration,
+                evicted=tuple(spilled))
+        tier, promoted, spilled = cache.hit(key)
+        return FetchResolution(
+            node_id=node_id, tier=tier, hit=True,
+            base_duration=base_duration,
+            duration=fetch_duration(self.tiers, tier, base_duration),
+            evicted=tuple(spilled), promoted=promoted)
+
+    def resolve_chunk_fetch(self, node_id: int, digest: str, size: float,
+                            base_duration: float
+                            ) -> Optional[FetchResolution]:
+        """Resolve one chunk against the node's chunk-level residency.
+
+        Mirrors :meth:`resolve_fetch` at chunk granularity: a miss
+        fetches at the remote baseline and admits the chunk into
+        ``admit_tier``; a hit fetches at the resident tier's cost and
+        promotes it one tier warmer.  Residency is keyed by content
+        digest, so sibling models sharing chunks warm each other.
+        """
+        cache = self._chunk_cache(node_id)
+        key = ("chunk", digest)
+        # Tier capacities are in artifact-size units; a zero-share chunk
+        # still needs a positive footprint to be admissible.
+        size = max(size, 1e-9)
         if cache.tier_of(key) is None:
             spilled = cache.admit(key, size, self.admit_tier)
             return FetchResolution(

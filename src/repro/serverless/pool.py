@@ -21,11 +21,15 @@ the pre-kernel metrics bit for bit.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.serverless.instance import Instance
 from repro.serverless.metrics import SimulationMetrics
-from repro.serverless.placement import FetchResolution, PlacementPolicy
+from repro.serverless.placement import (
+    ChunkFetchSummary,
+    FetchResolution,
+    PlacementPolicy,
+)
 from repro.sim import EventLoop
 
 #: Event kinds, in tie-break (dispatch-priority) order.
@@ -101,7 +105,7 @@ class PoolSimulatorBase:
 
     def _resolve_placement(self, key: Optional[Tuple], size: float,
                            base_fetch: float, needed: int = 1,
-                           cold: bool = True
+                           cold: bool = True, chunks: Optional[Sequence] = None
                            ) -> Tuple[Tuple[int, ...],
                                       Optional[FetchResolution]]:
         """Pick the node(s) for one launch and price its artifact fetch.
@@ -111,6 +115,13 @@ class PoolSimulatorBase:
         and the policy's tier-resolved fetch outcome (None under the
         flat policy and for warm launches — the caller then charges the
         plan's own fetch duration unchanged).
+
+        ``chunks`` optionally describes the artifact as a content-
+        addressed chunk stream (``ChunkMeta``-shaped objects with
+        ``digest``/``nbytes``/``foreground``): the fetch then resolves
+        chunk by chunk against the node's chunk-level residency, and the
+        returned resolution carries a :class:`ChunkFetchSummary` plus a
+        duration equal to the tier-resolved *foreground* fetch seconds.
         """
         policy = self.placement_policy
         if policy is None or self._pool_size() <= 0 or needed <= 0:
@@ -129,7 +140,63 @@ class PoolSimulatorBase:
         if cold:
             resolution = policy.resolve_fetch(primary, key, size,
                                               base_fetch)
+            if chunks and resolution is not None:
+                resolution = self._resolve_chunk_stream(
+                    policy, primary, chunks, size, base_fetch, resolution)
         return nodes, resolution
+
+    def _resolve_chunk_stream(self, policy: PlacementPolicy, node_id: int,
+                              chunks: Sequence, size: float,
+                              base_fetch: float,
+                              resolution: FetchResolution
+                              ) -> FetchResolution:
+        """Re-price one cold start's fetch as a per-chunk stream.
+
+        Each chunk resolves independently against ``node_id``'s chunk
+        residency (content-addressed, so sibling models share warmth);
+        the aggregate keeps the blob-granular resolution's node/tier/hit
+        bookkeeping but replaces its duration with the summed foreground
+        chunk fetch times and attaches the :class:`ChunkFetchSummary`
+        the metrics layer consumes.  A policy that does not track chunks
+        (flat) leaves the blob-granular resolution untouched.
+        """
+        from dataclasses import replace
+
+        total_bytes = float(sum(c.nbytes for c in chunks)) or 1.0
+        fg_bytes = float(sum(c.nbytes for c in chunks if c.foreground)) \
+            or 1.0
+        hits = 0
+        bytes_deduped = 0.0
+        fetched_fg_bytes = 0.0
+        fg_seconds = 0.0
+        fg_base = 0.0
+        evicted = list(resolution.evicted)
+        for chunk in chunks:
+            # Foreground chunks split the plan's foreground fetch budget
+            # by byte share; background chunks are priced by the same
+            # per-byte rate but do not gate readiness.
+            per_base = base_fetch * (chunk.nbytes / fg_bytes)
+            per_size = size * (chunk.nbytes / total_bytes)
+            resolved = policy.resolve_chunk_fetch(
+                node_id, chunk.digest, per_size, per_base)
+            if resolved is None:
+                return resolution
+            if resolved.hit:
+                hits += 1
+                bytes_deduped += chunk.nbytes
+            elif chunk.foreground:
+                fetched_fg_bytes += chunk.nbytes
+            if chunk.foreground:
+                fg_seconds += resolved.duration
+                fg_base += per_base
+            evicted.extend(resolved.evicted)
+        summary = ChunkFetchSummary(
+            chunks=len(chunks), hits=hits, bytes_deduped=bytes_deduped,
+            foreground_bytes=fetched_fg_bytes,
+            foreground_seconds=fg_seconds)
+        return replace(resolution, duration=fg_seconds,
+                       base_duration=fg_base, evicted=tuple(evicted),
+                       chunks=summary)
 
     def _tier_resolved_profile(self, profile,
                                resolution: Optional[FetchResolution],
@@ -177,6 +244,17 @@ class PoolSimulatorBase:
             node=resolution.node_id, tier=resolution.tier,
             hit=resolution.hit,
             seconds=round(resolution.duration, 6))
+        if resolution.chunks is not None:
+            summary = resolution.chunks
+            metrics.record_chunk_fetch(summary.hits, summary.bytes_deduped,
+                                       summary.foreground_bytes)
+            self.loop.trace.mark(
+                "chunk_fetch", now, track=_track(instance),
+                node=resolution.node_id, chunks=summary.chunks,
+                hits=summary.hits,
+                bytes_deduped=round(summary.bytes_deduped, 3),
+                foreground_bytes=round(summary.foreground_bytes, 3),
+                foreground_seconds=round(summary.foreground_seconds, 6))
         if resolution.promoted is not None:
             metrics.record_tier_promotion(resolution.promoted[1])
             self.loop.trace.mark(

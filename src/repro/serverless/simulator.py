@@ -75,6 +75,15 @@ class SimulationConfig:
     tiers: Optional[Tuple[TierSpec, ...]] = None
     #: Artifact footprint in tier-capacity units.
     artifact_size: float = 1.0
+    #: Optional chunk-stream description of the artifact (``ChunkMeta``
+    #: -shaped objects with ``digest``/``nbytes``/``foreground``; see
+    #: :func:`repro.core.chunks.simulation_chunks`).  When set, cold
+    #: starts resolve tier residency chunk by chunk — a node that hosted
+    #: a sibling model sharing chunks starts partially warm — and the
+    #: metrics gain ``chunk_hits`` / ``bytes_deduped`` /
+    #: ``fetch_bytes_foreground``.  None keeps blob-granular fetches
+    #: (the golden-pinned behaviour).
+    chunks: Optional[Tuple[object, ...]] = None
 
     def __post_init__(self) -> None:
         if self.num_gpus <= 0:
@@ -164,7 +173,7 @@ class ClusterSimulator(PoolSimulatorBase):
                 if profile is not None else 0.0
             node_ids, resolution = self._resolve_placement(
                 self._placement_key(), self.config.artifact_size,
-                base_fetch)
+                base_fetch, chunks=self.config.chunks)
             profile = self._tier_resolved_profile(profile, resolution,
                                                   store_hit=store_hit)
         else:

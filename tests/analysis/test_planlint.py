@@ -179,6 +179,14 @@ class TestBindings:
         assert is_known_action("restore_graph[16]", known=("other",))
         assert not is_known_action("restore_graph[sixteen]")
 
+    def test_fetch_chunk_pattern_is_always_known(self):
+        plan = _plan(PlanStage("fetch_chunk[3]", CPU))
+        assert not lint_plan(plan).has("PLN004")
+        assert is_known_action("fetch_chunk[3]")
+        assert is_known_action("fetch_chunk[0]", known=("other",))
+        assert not is_known_action("fetch_chunk[one]")
+        assert not is_known_action("fetch_chunk[]")
+
     def test_known_actions_override(self):
         plan = _plan(PlanStage("a", CPU, action="custom", writes=("x",)))
         assert lint_plan(plan, known_actions=("custom",)).clean
@@ -367,6 +375,33 @@ class TestRegistrySync:
                            known_actions=tuple(ENGINE_STAGE_ACTIONS) + names)
         assert report.clean, report.format_text()
 
+    def test_chunked_restorer_names_match_runtime(self, tiny2l_artifact,
+                                                  tmp_path):
+        from repro.core.online import prepare_medusa_cold_start
+        from repro.core.store import ArtifactStore
+        from repro.engine.engine import ENGINE_STAGE_ACTIONS
+        from repro.engine.strategies import chunked_medusa_plan
+        artifact, _ = tiny2l_artifact
+        store = ArtifactStore(tmp_path / "store")
+        store.put(artifact)
+        lazy = store.get_lazy(artifact.gpu_name, artifact.model_name)
+        engine, restorer = prepare_medusa_cold_start(
+            "Tiny-2L", lazy, mode=ExecutionMode.COMPUTE,
+            cost_model=tiny_cost_model())
+        names = restorer.stage_action_names()
+        # One fetch_chunk action per manifest chunk, all registered.
+        manifest = lazy.chunk_manifest
+        expected = {f"fetch_chunk[{i}]"
+                    for i in range(len(manifest.chunks))}
+        assert expected <= set(names)
+        assert set(restorer.stage_actions(engine)) == set(names)
+        # The per-manifest chunked plan lints clean against exactly the
+        # actions the engine + this restorer register.
+        plan = chunked_medusa_plan(manifest, name="sync-chunked")
+        report = lint_plan(plan,
+                           known_actions=tuple(ENGINE_STAGE_ACTIONS) + names)
+        assert report.clean, report.format_text()
+
 
 # ---------------------------------------------------------------------------
 # Effect resolution
@@ -392,6 +427,13 @@ class TestEffectResolution:
         fx = default_effects("restore_graph[4]")
         assert fx.writes == frozenset({graph_resource(4)})
         assert "alloc_map" in fx.reads
+
+    def test_chunk_pattern_default_effects(self):
+        from repro.analysis.effects import chunk_resource
+        fx = default_effects("fetch_chunk[7]")
+        assert fx.writes == frozenset({chunk_resource(7)})
+        assert fx.reads == frozenset()
+        assert default_effects("fetch_chunk[seven]") is None
         assert default_effects("restore_graph[oops]") is None
 
 

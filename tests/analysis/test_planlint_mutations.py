@@ -134,6 +134,12 @@ def mutate_malformed_graph_stage_name(plan):
     return _rebuild(plan, mapper)
 
 
+def mutate_malformed_chunk_fetch_action(plan):
+    """``fetch_chunk[one]`` matches neither the registry nor the
+    chunk-stream pattern (``fetch_chunk[<index>]`` needs an integer)."""
+    return _replace(plan, FETCH_ARTIFACT, action="fetch_chunk[one]")
+
+
 def mutate_phantom_contention_partner(plan):
     return _replace(plan, WEIGHTS,
                     contention=Contention(("phantom",),
@@ -177,6 +183,7 @@ MUTATIONS = [
     (mutate_background_publishes_under_foreground_read, "PLN003"),
     (mutate_unknown_action, "PLN004"),
     (mutate_malformed_graph_stage_name, "PLN004"),
+    (mutate_malformed_chunk_fetch_action, "PLN004"),
     (mutate_phantom_contention_partner, "PLN005"),
     (mutate_unresolvable_penalty_key, "PLN006"),
     (mutate_dead_probe_stage, "PLN007"),

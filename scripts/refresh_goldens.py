@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Regenerate the committed scenario golden snapshots.
+
+The scenario harness (``tests/integration/test_scenarios.py``) pins
+every summary scalar of every named scenario bit-exactly against
+``tests/integration/golden_scenarios.json``.  When a change
+*intentionally* shifts a scenario's metrics, re-record the snapshot:
+
+    PYTHONPATH=src python scripts/refresh_goldens.py --scenario NAME
+    PYTHONPATH=src python scripts/refresh_goldens.py --all
+
+The tool refuses to run on a dirty working tree: a refresh must be the
+*only* uncommitted change in its commit, so the diff reviewers see is
+exactly "these metrics moved because of the change before this one" —
+never a golden rewrite smuggled in with the code that caused it.
+``--allow-dirty`` overrides the check for local experimentation; CI and
+reviewed refreshes must not use it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from tests.integration.scenarios import (  # noqa: E402
+    GOLDEN_PATH,
+    SCENARIOS,
+    run_scenario,
+)
+
+
+def working_tree_dirty() -> bool:
+    """Whether the git working tree has any uncommitted change."""
+    result = subprocess.run(
+        ["git", "status", "--porcelain"], cwd=REPO_ROOT,
+        capture_output=True, text=True, check=True)
+    return bool(result.stdout.strip())
+
+
+def main(argv=None) -> int:
+    """Entry point: refresh one scenario's golden snapshot, or all."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--scenario", choices=sorted(SCENARIOS),
+                       help="refresh one named scenario's snapshot")
+    group.add_argument("--all", action="store_true",
+                       help="refresh every scenario snapshot")
+    parser.add_argument("--allow-dirty", action="store_true",
+                        help="skip the clean-working-tree check (local "
+                             "experimentation only; never for a "
+                             "committed refresh)")
+    args = parser.parse_args(argv)
+
+    if not args.allow_dirty and working_tree_dirty():
+        print("refusing to refresh goldens: the working tree is dirty.\n"
+              "Commit (or stash) your changes first so the golden diff "
+              "stands alone, or pass --allow-dirty for a local "
+              "experiment.", file=sys.stderr)
+        return 1
+
+    goldens = {}
+    if GOLDEN_PATH.exists():
+        with open(GOLDEN_PATH) as handle:
+            goldens = json.load(handle)
+
+    names = sorted(SCENARIOS) if args.all else [args.scenario]
+    for name in names:
+        print(f"running scenario {name} ...")
+        goldens[name] = run_scenario(name)
+
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(goldens, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH} ({len(names)} scenario(s) refreshed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,7 +46,9 @@ from repro.serverless import (
     ServingCostModel,
     ShareGPTWorkload,
     SimulationConfig,
+    autoscaler_names,
     policy_names,
+    shape_names,
 )
 
 _STRATEGY_NAMES = {
@@ -160,6 +162,24 @@ def build_parser() -> argparse.ArgumentParser:
              "pre-placement simulator; 'locality' routes cold starts to "
              "the node caching the artifact in the warmest tier; "
              "'affinity' adds residency-history fallback")
+    simulate.add_argument(
+        "--autoscale", choices=autoscaler_names(), default="keep-alive",
+        help="autoscaling policy: 'keep-alive' is the fixed idle window "
+             "(the pre-policy simulator, bit for bit); 'histogram' "
+             "predicts the window from observed inter-arrival gaps; "
+             "'cold-cost' keeps instances warm only while re-warming "
+             "would cost more than idling; 'queue-slo' scales up "
+             "proactively when predicted queue delay breaches the SLO")
+    simulate.add_argument(
+        "--shape", choices=shape_names(), default="poisson",
+        help="arrival shape: 'poisson' is the paper's homogeneous "
+             "process; 'burst', 'diurnal', 'spike_train', and 'ramp' "
+             "are composable RateSchedule shapes at the same nominal "
+             "--rps")
+    simulate.add_argument(
+        "--slo-ttft", type=float, default=0.0, metavar="SECONDS",
+        help="TTFT SLO budget: enables slo_attainment accounting and "
+             "feeds the queue-slo policy's scale-up threshold (0 = off)")
     simulate.add_argument(
         "--trace", metavar="PATH", default=None,
         help="write the whole run (arrivals, per-stage cold starts, "
@@ -379,17 +399,20 @@ def _cmd_simulate(args) -> int:
     _engine, report = cold_start_for(args.model, strategy,
                                      artifact=artifact, seed=args.seed)
     workload = ShareGPTWorkload(rps=args.rps, duration=args.duration,
-                                seed=args.seed)
+                                seed=args.seed, shape=args.shape)
     simulator = ClusterSimulator(
         ServingCostModel(args.model),
         SimulationConfig.from_report(report, num_gpus=args.gpus,
-                                     placement=args.placement))
+                                     placement=args.placement,
+                                     autoscale=args.autoscale,
+                                     slo_ttft=args.slo_ttft))
     metrics = simulator.run(workload.generate(), horizon=args.duration)
     summary = metrics.summary()
     rows = [[key, value] for key, value in sorted(summary.items())]
     print(format_table(
         f"Trace simulation: {args.model}, {strategy.label}, "
-        f"RPS {args.rps:g}, {args.gpus} GPUs, {args.placement} placement",
+        f"RPS {args.rps:g}, {args.gpus} GPUs, {args.placement} placement, "
+        f"{args.autoscale} autoscale, {args.shape} arrivals",
         ["metric", "value"], rows))
     if args.trace:
         from repro.reporting.timeline import save_simulation_trace

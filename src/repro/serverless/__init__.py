@@ -7,6 +7,15 @@ cold-start latency), and iteration-level continuous batching on each
 instance.  Produces the TTFT tail and throughput curves of Figures 10/11.
 """
 
+from repro.serverless.autoscale import (
+    AutoscalePolicy,
+    ColdCostAwarePolicy,
+    HistogramPolicy,
+    KeepAlivePolicy,
+    TargetQueueDelayPolicy,
+    autoscaler_names,
+    make_autoscaler,
+)
 from repro.serverless.cluster import (
     ModelDeployment,
     MultiModelCluster,
@@ -34,10 +43,28 @@ from repro.serverless.placement import (
 )
 from repro.serverless.pool import PoolSimulatorBase
 from repro.serverless.simulator import ClusterSimulator, SimulationConfig
-from repro.serverless.workload import Request, ShareGPTWorkload
+from repro.serverless.workload import (
+    RateSchedule,
+    RateSegment,
+    Request,
+    ShareGPTWorkload,
+    make_schedule,
+    shape_names,
+)
 
 __all__ = [
     "AffinityPlacement",
+    "AutoscalePolicy",
+    "ColdCostAwarePolicy",
+    "HistogramPolicy",
+    "KeepAlivePolicy",
+    "TargetQueueDelayPolicy",
+    "autoscaler_names",
+    "make_autoscaler",
+    "RateSchedule",
+    "RateSegment",
+    "make_schedule",
+    "shape_names",
     "ClusterSimulator",
     "ColdStartProfile",
     "DEFAULT_TIERS",

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import InvalidValueError, SchedulingError
+from repro.serverless.autoscale import AutoscalePolicy, make_autoscaler
 from repro.serverless.costs import ServingCostModel
 from repro.serverless.instance import (
     ColdStartProfile,
@@ -85,7 +86,8 @@ class MultiModelCluster(PoolSimulatorBase):
 
     def __init__(self, deployments: List[ModelDeployment], num_gpus: int,
                  keep_alive: float = 20.0, placement: object = "locality",
-                 tiers: Optional[Tuple[TierSpec, ...]] = None):
+                 tiers: Optional[Tuple[TierSpec, ...]] = None,
+                 autoscale: object = "keep-alive", slo_ttft: float = 0.0):
         if num_gpus <= 0:
             raise InvalidValueError("num_gpus must be positive")
         names = [d.name for d in deployments]
@@ -105,11 +107,24 @@ class MultiModelCluster(PoolSimulatorBase):
         self.keep_alive = keep_alive
         self._placement_spec = placement
         self._tiers = tiers
+        self._autoscale_spec = autoscale
+        self.slo_ttft = slo_ttft
         self.placement_policy = make_policy(placement, num_gpus, tiers)
+        # One policy per deployment: idle-window prediction (histograms,
+        # cold-cost windows) is a per-model signal on a shared pool.
+        self.autoscalers: Dict[str, AutoscalePolicy] = \
+            self._build_autoscalers()
         self.instances: Dict[str, List[Instance]] = {name: []
                                                      for name in names}
         self.metrics: Dict[str, SimulationMetrics] = {}
         self._begin_run(horizon=0.0)
+
+    def _build_autoscalers(self) -> Dict[str, AutoscalePolicy]:
+        """Fresh per-deployment autoscale policies for one run."""
+        return {name: make_autoscaler(self._autoscale_spec,
+                                      keep_alive=self.keep_alive,
+                                      slo_ttft=self.slo_ttft)
+                for name in self.deployments}
 
     # -- capacity ------------------------------------------------------------
 
@@ -132,6 +147,40 @@ class MultiModelCluster(PoolSimulatorBase):
 
     def _pool_size(self) -> int:
         return self.num_gpus
+
+    def _autoscaler_for(self, model: Optional[str]) -> \
+            Optional[AutoscalePolicy]:
+        """The deployment-scoped policy governing ``model``."""
+        if model is None:
+            return None
+        return self.autoscalers.get(model)
+
+    def _model_of(self, instance: Instance) -> Optional[str]:
+        """Instances scope to their deployment's policy."""
+        return instance.model_name
+
+    def _payload_model(self, payload: TaggedRequest) -> Optional[str]:
+        """Arrivals are tagged with their deployment."""
+        return payload.model
+
+    def _scope_live(self, model: Optional[str]) -> List[Instance]:
+        """Policies see only their own deployment's live instances."""
+        return self._live_instances(model)
+
+    def _can_launch(self, model: Optional[str]) -> bool:
+        """Whether the shared pool can host one more of ``model``."""
+        if model is None:
+            return False
+        deployment = self.deployments[model]
+        return (self.gpus_in_use + deployment.gpus_per_instance
+                <= self.num_gpus)
+
+    def _launch_cold_for(self, model: Optional[str],
+                         now: float) -> Optional[Instance]:
+        """Proactive scale-up launch for one deployment."""
+        if model is None:
+            return None
+        return self._launch(model, now)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -309,12 +358,15 @@ class MultiModelCluster(PoolSimulatorBase):
     def run(self, tagged_requests: List[TaggedRequest],
             horizon: float) -> Dict[str, SimulationMetrics]:
         """Simulate the merged arrival stream; returns per-model metrics."""
-        self.metrics = {name: SimulationMetrics(horizon=horizon)
+        self.metrics = {name: SimulationMetrics(horizon=horizon,
+                                                slo_ttft=self.slo_ttft)
                         for name in self.deployments}
         self.instances = {name: [] for name in self.deployments}
-        # Fresh cache state per run: residency must not leak across runs.
+        # Fresh cache state per run: residency must not leak across runs,
+        # and neither must the autoscalers' observed histograms.
         self.placement_policy = make_policy(self._placement_spec,
                                             self.num_gpus, self._tiers)
+        self.autoscalers = self._build_autoscalers()
         self._begin_run(horizon)
         for tagged in tagged_requests:
             self.metrics[tagged.model].arrived += 1
@@ -329,9 +381,11 @@ class MultiModelCluster(PoolSimulatorBase):
         for model, pool in self.instances.items():
             for instance in pool:
                 until = getattr(instance, "retired_at", end_of_run)
-                self.metrics[model].provisioned_gpu_seconds += max(
-                    0.0, until - instance.ready_at)
-                self.metrics[model].busy_gpu_seconds += instance.busy_time
+                self.metrics[model].record_instance_lifetime(
+                    max(0.0, until - instance.ready_at),
+                    instance.busy_time)
+        for model, policy in self.autoscalers.items():
+            self.metrics[model].record_autoscale_decisions(policy.decisions)
         return self.metrics
 
     # -- aggregate view --------------------------------------------------------------

@@ -63,9 +63,42 @@ class SimulationMetrics:
     fetch_bytes_foreground: float = 0.0
     provisioned_gpu_seconds: float = 0.0   # ready time across instances
     busy_gpu_seconds: float = 0.0          # time instances spent serving
+    # SLO accounting (repro.serverless.autoscale): the per-request TTFT
+    # budget this run is held to (0.0 = no SLO configured), requests
+    # whose TTFT exceeded it, TTFT seconds attributable to waiting on
+    # cold starts, and provisioned-but-idle warm seconds — the two
+    # quantities the scale-down policies trade against each other.
+    slo_ttft: float = 0.0
+    slo_violations: int = 0
+    cold_start_tax_seconds: float = 0.0
+    wasted_warm_seconds: float = 0.0
+    # Autoscale-policy decision counters ("retire", "scale_up",
+    # "idle_tick_armed", ...), folded in from the policy at end of run.
+    autoscale_decisions: Dict[str, int] = field(default_factory=dict)
 
-    def record_ttft(self, ttft: float) -> None:
+    def record_ttft(self, ttft: float, cold_tax: float = 0.0) -> None:
+        """Record one request's TTFT (and its cold-start share)."""
         self.ttfts.append(ttft)
+        self.cold_start_tax_seconds += cold_tax
+        if self.slo_ttft > 0 and ttft > self.slo_ttft:
+            self.slo_violations += 1
+
+    def record_autoscale_decisions(self, decisions: Dict[str, int]) -> None:
+        """Fold one policy's decision counters into this run's metrics."""
+        for kind, count in decisions.items():
+            self.autoscale_decisions[kind] = \
+                self.autoscale_decisions.get(kind, 0) + count
+
+    def record_instance_lifetime(self, provisioned: float,
+                                 busy: float) -> None:
+        """Account one instance's provisioned/busy GPU seconds.
+
+        The provisioned-minus-busy remainder is the instance's wasted
+        warm time — what a scale-down policy pays for keeping it alive.
+        """
+        self.provisioned_gpu_seconds += provisioned
+        self.busy_gpu_seconds += busy
+        self.wasted_warm_seconds += max(0.0, provisioned - busy)
 
     def record_degraded_cold_start(self, rung: str) -> None:
         self.degraded_cold_starts += 1
@@ -125,6 +158,13 @@ class SimulationMetrics:
         self.latencies.append(latency)
         if in_horizon:
             self.completed += 1
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of recorded TTFTs within the SLO (1.0 without one)."""
+        if self.slo_ttft <= 0 or not self.ttfts:
+            return 1.0
+        return 1.0 - self.slo_violations / len(self.ttfts)
 
     @property
     def p99_ttft(self) -> float:
@@ -202,6 +242,14 @@ class SimulationMetrics:
         self.fetch_bytes_foreground += other.fetch_bytes_foreground
         self.provisioned_gpu_seconds += other.provisioned_gpu_seconds
         self.busy_gpu_seconds += other.busy_gpu_seconds
+        if other.slo_ttft > 0:
+            self.slo_ttft = other.slo_ttft
+        self.slo_violations += other.slo_violations
+        self.cold_start_tax_seconds += other.cold_start_tax_seconds
+        self.wasted_warm_seconds += other.wasted_warm_seconds
+        for kind, count in other.autoscale_decisions.items():
+            self.autoscale_decisions[kind] = \
+                self.autoscale_decisions.get(kind, 0) + count
 
     def summary(self) -> Dict[str, float]:
         report = {f"ttft_{k}": v for k, v in summarize(self.ttfts).items()}
@@ -222,6 +270,18 @@ class SimulationMetrics:
         })
         report["tier_misses"] = float(self.tier_misses)
         report["fetch_seconds_saved"] = self.fetch_seconds_saved
+        report["cold_start_tax_seconds"] = self.cold_start_tax_seconds
+        report["wasted_warm_seconds"] = self.wasted_warm_seconds
+        # SLO keys appear only when a TTFT budget was configured, and
+        # autoscale decision counters only when the policy acted, so
+        # default keep-alive runs keep their summaries change-free.
+        if self.slo_ttft > 0:
+            report["slo_ttft"] = self.slo_ttft
+            report["slo_violations"] = float(self.slo_violations)
+            report["slo_attainment"] = self.slo_attainment
+        for kind in sorted(self.autoscale_decisions):
+            report[f"autoscale[{kind}]"] = \
+                float(self.autoscale_decisions[kind])
         # Chunk-fetch counters appear only when a chunk stream ran, so
         # blob-granular runs keep their golden summaries byte-identical.
         if self.chunk_hits or self.bytes_deduped \

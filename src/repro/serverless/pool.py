@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.serverless.autoscale import AutoscalePolicy
 from repro.serverless.instance import Instance
 from repro.serverless.metrics import SimulationMetrics
 from repro.serverless.placement import (
@@ -32,11 +33,18 @@ from repro.serverless.placement import (
 )
 from repro.sim import EventLoop
 
-#: Event kinds, in tie-break (dispatch-priority) order.
+#: Event kinds, in tie-break (dispatch-priority) order.  IDLE_TICK
+#: deliberately sorts *after* every other kind: an arrival, stage
+#: completion, or step completion co-timed with an idle re-check always
+#: dispatches first, so a request landing at the exact instant a
+#: keep-alive window expires reaches the instance before the retirement
+#: decision runs — the tie-break is the kernel's ``(time, priority,
+#: seq)`` order, not handler luck.
 ARRIVAL = "arrival"
 COLD_STAGE_DONE = "cold_stage_done"
 INSTANCE_READY = "instance_ready"
 STEP_DONE = "step_done"
+IDLE_TICK = "idle_tick"
 
 _EPS = 1e-12
 
@@ -58,8 +66,13 @@ class PoolSimulatorBase:
     ``_consider_abort`` for policy.
     """
 
-    #: Idle seconds before a non-spare instance retires.
+    #: Idle seconds before a non-spare instance retires (seeds the
+    #: default :class:`~repro.serverless.autoscale.KeepAlivePolicy`).
     keep_alive: float = 20.0
+
+    #: Scale-up/scale-down policy layer (repro.serverless.autoscale);
+    #: None falls back to the inline fixed keep-alive comparison.
+    autoscaler: Optional[AutoscalePolicy] = None
 
     #: Locality layer (repro.serverless.placement); None runs the pool
     #: without node identity at all (legacy direct-construction paths).
@@ -93,6 +106,34 @@ class PoolSimulatorBase:
     def _pool_size(self) -> int:
         """Number of cluster nodes (GPUs) behind this pool."""
         return 0
+
+    # -- autoscale hooks ------------------------------------------------------
+
+    def _autoscaler_for(self, model: Optional[str]) -> \
+            Optional[AutoscalePolicy]:
+        """The autoscale policy governing ``model`` (one pool-wide here)."""
+        return self.autoscaler
+
+    def _model_of(self, instance: Instance) -> Optional[str]:
+        """The autoscale scope an instance belongs to (None = pool-wide)."""
+        return None
+
+    def _payload_model(self, payload: object) -> Optional[str]:
+        """The autoscale scope one arrival payload targets."""
+        return None
+
+    def _scope_live(self, model: Optional[str]) -> List[Instance]:
+        """Live instances in one autoscale scope (policies consult this)."""
+        return self._live_instances()
+
+    def _can_launch(self, model: Optional[str]) -> bool:
+        """Whether capacity remains for one more instance of ``model``."""
+        return False
+
+    def _launch_cold_for(self, model: Optional[str],
+                         now: float) -> Optional[Instance]:
+        """Launch one cold instance for ``model`` (proactive scale-up)."""
+        return None
 
     # -- artifact placement ---------------------------------------------------
 
@@ -278,6 +319,7 @@ class PoolSimulatorBase:
         loop.on(COLD_STAGE_DONE, self._on_cold_stage_done, priority=1)
         loop.on(INSTANCE_READY, self._on_instance_ready, priority=2)
         loop.on(STEP_DONE, self._on_step_done, priority=3)
+        loop.on(IDLE_TICK, self._on_idle_tick, priority=4)
         self.loop = loop
         return loop
 
@@ -322,7 +364,17 @@ class PoolSimulatorBase:
 
     def _on_arrival(self, event) -> None:
         """Dispatch one arrival to the subclass's router."""
-        self._route(event.payload, self.loop.now)
+        self._dispatch_arrival(event.payload, self.loop.now)
+
+    def _dispatch_arrival(self, payload: object, now: float) -> None:
+        """Notify the autoscaler, route the arrival, apply scale-up."""
+        model = self._payload_model(payload)
+        policy = self._autoscaler_for(model)
+        if policy is not None:
+            policy.on_arrival(self, model, now)
+        self._route(payload, now)
+        if policy is not None:
+            self._apply_scale_up(policy, model, now)
 
     def _on_cold_stage_done(self, event) -> None:
         """Account one completed cold-start stage and poll the policy."""
@@ -342,6 +394,9 @@ class PoolSimulatorBase:
             # it visible at cluster level, not only inside the engine.
             self.loop.trace.mark("ladder_rung", now, track=_track(instance),
                                  stage=stage.name)
+        policy = self._autoscaler_for(self._model_of(instance))
+        if policy is not None:
+            policy.on_stage_boundary(self, instance, stage, now)
         self._consider_abort(instance, stage, now)
 
     def _on_instance_ready(self, event) -> None:
@@ -352,6 +407,12 @@ class PoolSimulatorBase:
         self.loop.trace.mark("instance_ready", self.loop.now,
                              track=_track(instance))
         self._maybe_step(instance, self.loop.now)
+        if not instance.has_work and not instance.stepping:
+            # Ready with nothing queued: start the idle clock so window
+            # -enforcing policies retire it even if it never serves.
+            policy = self._autoscaler_for(self._model_of(instance))
+            if policy is not None and not instance.hot_spare:
+                self._schedule_idle_tick(policy, instance, self.loop.now)
 
     def _on_step_done(self, event) -> None:
         """Record one serving iteration's TTFTs/completions; continue."""
@@ -359,8 +420,9 @@ class PoolSimulatorBase:
         now = self.loop.now
         instance.stepping = False
         metrics = self._metrics_for(instance)
-        for _request, ttft in result.ttfts:
-            metrics.record_ttft(ttft)
+        for request, ttft in result.ttfts:
+            metrics.record_ttft(
+                ttft, cold_tax=self._cold_tax(instance, request, ttft))
         for completion in result.completed:
             metrics.record_completion(
                 completion.latency,
@@ -389,13 +451,89 @@ class PoolSimulatorBase:
             contended=result.background_contention > 0)
 
     def _maybe_retire(self, instance: Instance, now: float) -> None:
-        """Retire an idle instance once keep-alive expires (policy-gated)."""
+        """Retire an idle instance once its policy's window expires.
+
+        The decision is delegated to the autoscale policy
+        (``should_retire``); without one, the legacy inline fixed
+        keep-alive comparison applies unchanged.  When the policy
+        declines *and* wants the window actually enforced
+        (``idle_check_delay``), an :data:`IDLE_TICK` is scheduled at the
+        window's expiry — it tie-breaks after any co-timed arrival, so a
+        request landing at the exact expiry instant always wins.
+        """
         if instance.has_work or instance.stepping or instance.retired:
             return
         if instance.hot_spare:
             return   # §2.4: hot spares stay provisioned (and waste GPUs)
-        if now - instance.last_busy_at >= self.keep_alive and \
-                len(self._live_instances()) > self._retirement_floor():
+        policy = self._autoscaler_for(self._model_of(instance))
+        if policy is None:
+            retire = now - instance.last_busy_at >= self.keep_alive
+        else:
+            retire = policy.should_retire(self, instance, now)
+        if retire and len(self._live_instances()) > self._retirement_floor():
+            if policy is not None:
+                policy._decide("retire")
             instance.retired = True
             instance.retired_at = now
             self.loop.trace.mark("retired", now, track=_track(instance))
+        elif policy is not None:
+            self._schedule_idle_tick(policy, instance, now)
+
+    # -- autoscale mechanism ---------------------------------------------------
+
+    def _cold_tax(self, instance: Instance, request, ttft: float) -> float:
+        """Seconds of one request's TTFT attributable to a cold start.
+
+        The part of the wait spent before the serving instance's ready
+        instant: a request admitted by an already-warm instance pays 0.
+        """
+        return min(ttft, max(0.0, instance.ready_at - request.arrival_time))
+
+    def _schedule_idle_tick(self, policy: AutoscalePolicy,
+                            instance: Instance, now: float) -> None:
+        """Arm one idle re-check at the policy's requested delay.
+
+        The tick carries the instance's current ``last_busy_at`` as a
+        staleness stamp: serving work between scheduling and firing
+        advances the stamp, and the stale tick is ignored (the next idle
+        period arms its own).
+        """
+        delay = policy.idle_check_delay(self, instance, now)
+        if delay is None:
+            return
+        policy._decide("idle_tick_armed")
+        self.loop.schedule(now + max(0.0, delay), IDLE_TICK,
+                           (instance, instance.last_busy_at))
+
+    def _on_idle_tick(self, event) -> None:
+        """Re-evaluate retirement for a (possibly no longer) idle instance."""
+        instance, stamp = event.payload
+        now = self.loop.now
+        if (instance.retired or instance.stepping or instance.has_work
+                or instance.last_busy_at != stamp):
+            return   # stale: the instance served (or died) since arming
+        policy = self._autoscaler_for(self._model_of(instance))
+        if policy is None:
+            return
+        policy.on_idle_tick(self, instance, now)
+        self._maybe_retire(instance, now)
+
+    def _apply_scale_up(self, policy: AutoscalePolicy,
+                        model: Optional[str], now: float) -> None:
+        """Launch cold instances until the policy's target is met.
+
+        Best-effort: stops at the pool's capacity (``_can_launch``) or
+        when the subclass cannot place a launch.  Every proactive launch
+        is counted on the policy and marked in the trace.
+        """
+        target = policy.target_instances(self, model, now)
+        if target <= 0:
+            return
+        while len(self._scope_live(model)) < target \
+                and self._can_launch(model):
+            instance = self._launch_cold_for(model, now)
+            if instance is None:
+                return
+            policy._decide("scale_up")
+            self.loop.trace.mark("autoscale_up", now,
+                                 track=_track(instance), policy=policy.name)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.errors import InvalidValueError
+from repro.serverless.autoscale import make_autoscaler
 from repro.serverless.costs import ServingCostModel
 from repro.serverless.instance import (
     ColdStartProfile,
@@ -84,6 +85,17 @@ class SimulationConfig:
     #: ``fetch_bytes_foreground``.  None keeps blob-granular fetches
     #: (the golden-pinned behaviour).
     chunks: Optional[Tuple[object, ...]] = None
+    #: Autoscaling policy: a registered name ("keep-alive", "histogram",
+    #: "cold-cost", "queue-slo"), an AutoscalePolicy factory, or an
+    #: instance.  The default keep-alive policy reproduces the
+    #: pre-policy simulator bit for bit (``keep_alive`` seeds its
+    #: window); the others enforce their idle windows with kernel-level
+    #: idle ticks and may scale up proactively.
+    autoscale: object = "keep-alive"
+    #: TTFT SLO budget in seconds (0.0 = none): feeds the metrics'
+    #: ``slo_attainment`` accounting and the queue-delay policy's
+    #: scale-up threshold.
+    slo_ttft: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_gpus <= 0:
@@ -119,9 +131,20 @@ class ClusterSimulator(PoolSimulatorBase):
         self.metrics = SimulationMetrics()
         self.placement_policy = make_policy(config.placement,
                                             config.num_gpus, config.tiers)
+        self.autoscaler = make_autoscaler(config.autoscale,
+                                          keep_alive=config.keep_alive,
+                                          slo_ttft=config.slo_ttft)
         self._begin_run(horizon=0.0)
 
     # -- pool hooks ----------------------------------------------------------
+
+    def _can_launch(self, model) -> bool:
+        """A GPU is free for one more instance."""
+        return len(self._live_instances()) < self.config.num_gpus
+
+    def _launch_cold_for(self, model, now: float) -> Instance:
+        """Proactive scale-up launch (autoscale policy target)."""
+        return self._launch_instance(now)
 
     def _metrics_for(self, instance: Instance) -> SimulationMetrics:
         """Single-model pool: every instance reports into one sink."""
@@ -268,20 +291,26 @@ class ClusterSimulator(PoolSimulatorBase):
         now = self.loop.now
         if not self.config.drain and now > self.horizon:
             return
-        self._route(event.payload, now)
+        self._dispatch_arrival(event.payload, now)
 
     # -- main loop ------------------------------------------------------------------
 
     def run(self, requests: List[Request], horizon: float) -> SimulationMetrics:
         """Simulate the full trace; returns the run's metrics."""
-        self.metrics = SimulationMetrics(horizon=horizon)
+        self.metrics = SimulationMetrics(horizon=horizon,
+                                         slo_ttft=self.config.slo_ttft)
         self.metrics.arrived = len(requests)
         self.instances = []
         # Fresh cache state per run: placement must not leak residency
-        # across runs, or repeated runs would diverge.
+        # across runs, or repeated runs would diverge.  The autoscaler is
+        # likewise rebuilt so its observed histograms/decisions restart
+        # (a caller-supplied policy *instance* is reused as-is).
         self.placement_policy = make_policy(self.config.placement,
                                             self.config.num_gpus,
                                             self.config.tiers)
+        self.autoscaler = make_autoscaler(self.config.autoscale,
+                                          keep_alive=self.config.keep_alive,
+                                          slo_ttft=self.config.slo_ttft)
         self._begin_run(horizon)
         for _ in range(self.config.initial_instances):
             self._launch_instance(0.0, cold=False)
@@ -296,7 +325,9 @@ class ClusterSimulator(PoolSimulatorBase):
         end_of_run = max(horizon, self.loop.now)
         for instance in self.instances:
             until = getattr(instance, "retired_at", end_of_run)
-            self.metrics.provisioned_gpu_seconds += max(
-                0.0, until - instance.ready_at)
-            self.metrics.busy_gpu_seconds += instance.busy_time
+            self.metrics.record_instance_lifetime(
+                max(0.0, until - instance.ready_at), instance.busy_time)
+        if self.autoscaler is not None:
+            self.metrics.record_autoscale_decisions(
+                self.autoscaler.decisions)
         return self.metrics

@@ -1,0 +1,49 @@
+"""End-to-end scenario regression harness.
+
+Each named scenario in :mod:`tests.integration.scenarios` replays a
+fully-pinned simulation (seeds, shapes, policies) and must reproduce the
+committed ``golden_scenarios.json`` snapshot *bit-exactly*: JSON
+round-trips floats exactly, so ``==`` holds only while event ordering,
+policy decisions, and metric accounting are unchanged to the last ulp.
+
+Unlike :mod:`tests.serverless.test_golden_equivalence` (which pins the
+*legacy-compatible* keep-alive path), these scenarios deliberately
+exercise the new surface: windowed autoscale policies, shaped arrivals,
+SLO accounting, chunk warmth, the degradation ladder, and placement.
+Refresh a snapshot only with ``scripts/refresh_goldens.py`` (it refuses
+dirty working trees, so the golden diff always stands alone).
+"""
+
+import pytest
+
+from tests.integration.scenarios import SCENARIOS, load_goldens, run_scenario
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    """The committed scenario snapshots."""
+    return load_goldens()
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_matches_golden_bit_exactly(goldens, name):
+    """Every section and every scalar must match the snapshot exactly."""
+    assert name in goldens, (
+        f"scenario {name!r} has no committed golden; run "
+        f"scripts/refresh_goldens.py --scenario {name}")
+    fresh = run_scenario(name)
+    golden = goldens[name]
+    assert sorted(fresh) == sorted(golden), name
+    for section in sorted(golden):
+        assert fresh[section] == golden[section], (name, section)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_is_deterministic(goldens, name):
+    """Two in-process replays must agree with each other exactly."""
+    assert run_scenario(name) == run_scenario(name)
+
+
+def test_goldens_carry_no_stale_scenarios(goldens):
+    """Every committed snapshot must correspond to a defined scenario."""
+    assert sorted(goldens) == sorted(SCENARIOS)

@@ -6,7 +6,11 @@ from repro.errors import InvalidValueError
 from repro.serverless.workload import (
     SHAREGPT_MEAN_OUTPUT_TOKENS,
     SHAREGPT_MEAN_PROMPT_TOKENS,
+    RateSchedule,
+    RateSegment,
     ShareGPTWorkload,
+    make_schedule,
+    shape_names,
 )
 
 
@@ -60,3 +64,81 @@ class TestValidation:
             ShareGPTWorkload(rps=0, duration=10)
         with pytest.raises(InvalidValueError):
             ShareGPTWorkload(rps=1, duration=0)
+
+    def test_rejects_unknown_shape(self):
+        with pytest.raises(InvalidValueError):
+            ShareGPTWorkload(rps=1, duration=10, shape="sawtooth")
+
+
+class TestRateSchedule:
+    def test_segment_validation(self):
+        with pytest.raises(InvalidValueError):
+            RateSegment(start=5.0, end=5.0, rate=1.0)
+        with pytest.raises(InvalidValueError):
+            RateSegment(start=0.0, end=1.0, rate=-0.5)
+        with pytest.raises(InvalidValueError):
+            RateSchedule(())
+
+    def test_overlapping_segments_add(self):
+        schedule = RateSchedule((RateSegment(0.0, 10.0, 1.0),
+                                 RateSegment(5.0, 10.0, 2.0)))
+        assert schedule.rate_at(2.0) == 1.0
+        assert schedule.rate_at(7.0) == 3.0
+        assert schedule.integral(0.0, 10.0) == pytest.approx(20.0)
+
+    def test_shift_translates_every_segment(self):
+        schedule = RateSchedule((RateSegment(0.0, 10.0, 1.0),)).shift(5.0)
+        assert schedule.rate_at(2.0) == 0.0
+        assert schedule.rate_at(7.0) == 1.0
+        assert schedule.duration == 15.0
+
+    def test_named_shapes_build(self):
+        for shape in shape_names():
+            schedule = make_schedule(shape, 2.0, 120.0)
+            assert schedule.duration <= 120.0 + 1e-9
+            assert schedule.integral(0.0, 120.0) > 0.0
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(InvalidValueError):
+            make_schedule("sawtooth", 1.0, 10.0)
+
+
+class TestShapedGeneration:
+    def test_poisson_shape_is_the_legacy_generator(self):
+        """``shape="poisson"`` must not perturb the golden RNG stream."""
+        legacy = ShareGPTWorkload(rps=3, duration=60, seed=9).generate()
+        shaped = ShareGPTWorkload(rps=3, duration=60, seed=9,
+                                  shape="poisson").generate()
+        assert legacy == shaped
+
+    def test_burst_shape_concentrates_arrivals(self):
+        """Burst windows hold ~all arrivals; the gaps are silent."""
+        requests = ShareGPTWorkload(rps=2, duration=160, seed=10,
+                                    shape="burst").generate()
+        in_burst = sum(1 for r in requests
+                       if (r.arrival_time % 40.0) < 10.0)
+        assert in_burst == len(requests)
+
+    def test_shaped_trace_sorted_and_within_duration(self):
+        requests = ShareGPTWorkload(rps=2, duration=120, seed=11,
+                                    shape="spike_train").generate()
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+        assert all(0 <= t < 120 for t in times)
+        assert [r.request_id for r in requests] == \
+            list(range(len(requests)))
+
+    def test_explicit_schedule_overrides_shape(self):
+        schedule = RateSchedule((RateSegment(50.0, 60.0, 5.0),))
+        requests = ShareGPTWorkload(rps=2, duration=120, seed=12,
+                                    schedule=schedule).generate()
+        assert requests
+        assert all(50.0 <= r.arrival_time < 60.0 for r in requests)
+
+    def test_shaped_and_legacy_streams_are_independent(self):
+        """The shaped path derives from a distinct seed namespace."""
+        legacy = ShareGPTWorkload(rps=2, duration=120, seed=13).generate()
+        shaped = ShareGPTWorkload(rps=2, duration=120, seed=13,
+                                  shape="ramp").generate()
+        assert [r.arrival_time for r in legacy] != \
+            [r.arrival_time for r in shaped]
